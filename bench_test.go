@@ -1,0 +1,509 @@
+// Benchmarks: one per experiment table (E1..E12, see DESIGN.md) plus
+// microbenchmarks of the substrate primitives.  The experiment benches run
+// one trial per iteration and report the experiment's headline metric via
+// b.ReportMetric; the full tables regenerate with cmd/benchtab.
+package explframe_test
+
+import (
+	"testing"
+
+	"explframe/internal/cipher/aes"
+	"explframe/internal/cipher/present"
+	"explframe/internal/core"
+	"explframe/internal/dram"
+	"explframe/internal/fault/dfa"
+	"explframe/internal/fault/pfa"
+	"explframe/internal/kernel"
+	"explframe/internal/mm"
+	"explframe/internal/rowhammer"
+	"explframe/internal/stats"
+	"explframe/internal/vm"
+)
+
+// --- experiment benches -------------------------------------------------
+
+// BenchmarkE1Buddy measures one alloc/free churn step on the buddy
+// allocator (table E1).
+func BenchmarkE1Buddy(b *testing.B) {
+	pm, err := mm.New(mm.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	type blk struct {
+		p     mm.PFN
+		order int
+	}
+	var live []blk
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rng.Bool(0.55) || len(live) == 0 {
+			order := rng.Intn(6)
+			if p, err := pm.AllocPages(0, order); err == nil {
+				live = append(live, blk{p, order})
+			}
+		} else {
+			j := rng.Intn(len(live))
+			if err := pm.FreePages(0, live[j].p, live[j].order); err != nil {
+				b.Fatal(err)
+			}
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+}
+
+// BenchmarkE2SelfReuse runs one self-reuse trial per iteration and reports
+// the reuse fraction for a small request (table E2).
+func BenchmarkE2SelfReuse(b *testing.B) {
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		frac, err := core.SelfReuseTrial(uint64(i), kernel.Config{}, 4, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum += frac
+	}
+	b.ReportMetric(sum/float64(b.N), "reuse_frac")
+}
+
+// BenchmarkE3Steering runs one same-CPU steering trial per iteration and
+// reports the hit rate (table E3).
+func BenchmarkE3Steering(b *testing.B) {
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultSteeringConfig()
+		cfg.Seed = uint64(i)
+		res, err := core.RunSteeringTrial(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FirstPageHit {
+			hits++
+		}
+	}
+	b.ReportMetric(float64(hits)/float64(b.N), "steer_rate")
+}
+
+// hammerBench builds a machine and a resident attacker buffer for the
+// hammer benches.
+func hammerBench(b *testing.B, density float64) (*kernel.Machine, *kernel.Process, vm.VirtAddr, uint64) {
+	b.Helper()
+	cfg := kernel.DefaultConfig()
+	cfg.Geometry = dram.Geometry{Channels: 1, DIMMs: 1, Ranks: 1, Banks: 4, Rows: 1024, RowBytes: 8192}
+	cfg.FaultModel = dram.FaultModel{
+		WeakCellDensity: density,
+		BaseThreshold:   4000,
+		ThresholdSpread: 1.0,
+		NeighbourWeight: 0.25,
+		RefreshInterval: 1 << 21,
+		FlipReliability: 0.98,
+	}
+	m, err := kernel.NewMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := m.Spawn("attacker", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const length = 4 << 20
+	base, err := p.Mmap(length)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Touch(base, length); err != nil {
+		b.Fatal(err)
+	}
+	return m, p, base, length
+}
+
+// BenchmarkE4HammerOnset measures one double-sided hammer run at the E4
+// operating point (figure E4).
+func BenchmarkE4HammerOnset(b *testing.B) {
+	m, p, base, length := hammerBench(b, 8e-5)
+	eng := rowhammer.New(rowhammer.Config{Mode: rowhammer.DoubleSided, PairHammerCount: 6000}, m, p)
+	agg, err := eng.FindAggressors(base+64*vm.PageSize, base, length)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.HammerDefault(agg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(eng.Stats().Activations)/float64(b.N), "activations/op")
+}
+
+// BenchmarkE5Repro measures one re-hammer reproduction of a templated flip
+// (table E5).
+func BenchmarkE5Repro(b *testing.B) {
+	m, p, base, length := hammerBench(b, 2e-4)
+	eng := rowhammer.New(rowhammer.Config{Mode: rowhammer.DoubleSided, PairHammerCount: 10000, MaxFlips: 1}, m, p)
+	flips, err := eng.Template(base, length)
+	if err != nil || len(flips) == 0 {
+		b.Fatalf("no flip to reproduce: %v", err)
+	}
+	f := flips[0]
+	pattern := rowhammer.PatternOnes
+	if f.From == 0 {
+		pattern = rowhammer.PatternZeros
+	}
+	ok := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.DRAM().Refresh()
+		re, err := eng.Reproduce(f, pattern)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if re {
+			ok++
+		}
+	}
+	b.ReportMetric(float64(ok)/float64(b.N), "repro_rate")
+}
+
+// attackBenchConfig mirrors experiments.attackConfig.
+func attackBenchConfig(seed uint64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Machine.Geometry = dram.Geometry{Channels: 1, DIMMs: 1, Ranks: 1, Banks: 4, Rows: 1024, RowBytes: 8192}
+	cfg.Machine.FaultModel = dram.FaultModel{
+		WeakCellDensity: 2e-4,
+		BaseThreshold:   1500,
+		ThresholdSpread: 0.5,
+		NeighbourWeight: 0.25,
+		RefreshInterval: 1 << 20,
+		FlipReliability: 0.98,
+	}
+	cfg.Hammer = rowhammer.Config{Mode: rowhammer.DoubleSided, PairHammerCount: 3200}
+	cfg.AttackerMemory = 8 << 20
+	cfg.Ciphertexts = 12000
+	return cfg
+}
+
+// BenchmarkE6EndToEnd runs one full attack per iteration and reports the
+// success rate and ciphertext cost (table E6).  The flip reliability is
+// pinned to 1 so the bench measures pipeline cost deterministically; the
+// stochastic success statistics are E6's table, not this metric.
+func BenchmarkE6EndToEnd(b *testing.B) {
+	wins, cts := 0, 0
+	for i := 0; i < b.N; i++ {
+		cfg := attackBenchConfig(uint64(i) + 1)
+		cfg.Machine.FaultModel.FlipReliability = 1
+		atk, err := core.NewAttack(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := atk.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Success() {
+			wins++
+			cts += rep.CiphertextsUsed
+		}
+	}
+	b.ReportMetric(float64(wins)/float64(b.N), "success_rate")
+	if wins > 0 {
+		b.ReportMetric(float64(cts)/float64(wins), "ciphertexts")
+	}
+}
+
+// BenchmarkE7PFA measures one complete known-fault PFA key recovery on
+// AES-128 (figure E7).
+func BenchmarkE7PFA(b *testing.B) {
+	rng := stats.NewRNG(9)
+	key := make([]byte, 16)
+	rng.Bytes(key)
+	ks, _ := aes.Expand(key)
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		faulty := aes.SBox()
+		v := rng.Intn(256)
+		yStar := faulty[v]
+		faulty[v] ^= 1 << uint(rng.Intn(8))
+		col := pfa.NewAESCollector()
+		pt := make([]byte, 16)
+		ct := make([]byte, 16)
+		for n := 1; ; n++ {
+			rng.Bytes(pt)
+			aes.EncryptBlock(ks, &faulty, ct, pt)
+			col.Observe(ct)
+			if n%256 == 0 {
+				if _, err := col.RecoverLastRoundKeyKnownFault(yStar); err == nil {
+					total += n
+					break
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "ciphertexts")
+}
+
+// BenchmarkE8Baselines runs one random-spray baseline trial per iteration
+// (table E8).
+func BenchmarkE8Baselines(b *testing.B) {
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		ac := attackBenchConfig(uint64(i) + 1)
+		bc := core.DefaultBaselineConfig(core.RandomSpray)
+		bc.Seed = ac.Seed
+		bc.Machine = ac.Machine
+		bc.Hammer = ac.Hammer
+		bc.AttackerMemory = ac.AttackerMemory
+		res, err := core.RunBaselineTrial(bc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TableCorrupted {
+			hits++
+		}
+	}
+	b.ReportMetric(float64(hits)/float64(b.N), "corrupt_rate")
+}
+
+// BenchmarkE9DFAvsPFA measures one DFA recovery from 8 fault pairs (table
+// E9's transient-fault row).
+func BenchmarkE9DFAvsPFA(b *testing.B) {
+	rng := stats.NewRNG(3)
+	key := make([]byte, 16)
+	rng.Bytes(key)
+	ks, _ := aes.Expand(key)
+	sb := aes.SBox()
+	unique := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var pairs []dfa.Pair
+		pt := make([]byte, 16)
+		for fb := 0; fb < 4; fb++ {
+			for n := 0; n < 2; n++ {
+				rng.Bytes(pt)
+				pairs = append(pairs, dfa.CollectPair(ks, &sb, pt, fb, byte(rng.Intn(255)+1)))
+			}
+		}
+		res, err := dfa.Recover(pairs)
+		if err == nil && res.Unique {
+			unique++
+		}
+	}
+	b.ReportMetric(float64(unique)/float64(b.N), "unique_rate")
+}
+
+// BenchmarkE10Present measures one PRESENT-80 PFA recovery including the
+// 2^16 key-schedule completion (table E10).
+func BenchmarkE10Present(b *testing.B) {
+	rng := stats.NewRNG(4)
+	key := make([]byte, 10)
+	rng.Bytes(key)
+	ks, _ := present.Expand(key)
+	clean := present.SBox()
+	cleanPT := rng.Uint64()
+	cleanCT := present.Encrypt(ks, &clean, cleanPT)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		faulty := present.SBox()
+		v := rng.Intn(16)
+		yStar := faulty[v]
+		faulty[v] ^= byte(1 << uint(rng.Intn(4)))
+		col := pfa.NewPresentCollector()
+		for n := 1; ; n++ {
+			col.Observe(present.Encrypt(ks, &faulty, rng.Uint64()))
+			if n%64 == 0 {
+				if _, err := col.RecoverMasterKnownFault(yStar, cleanPT, cleanCT); err == nil {
+					break
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkE11ActiveWait contrasts active- and sleeping-attacker steering
+// (table E11): the metric is the sleeping-attacker hit rate (expected 0).
+func BenchmarkE11ActiveWait(b *testing.B) {
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultSteeringConfig()
+		cfg.Seed = uint64(i)
+		cfg.AttackerSleeps = true
+		res, err := core.RunSteeringTrial(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FirstPageHit {
+			hits++
+		}
+	}
+	b.ReportMetric(float64(hits)/float64(b.N), "sleep_steer_rate")
+}
+
+// BenchmarkE12Zones measures one full allocation-pressure sweep (table E12).
+func BenchmarkE12Zones(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := mm.DefaultConfig()
+		cfg.TotalBytes = 64 << 20
+		pm, err := mm.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := pm.AllocPages(0, 0); err != nil {
+				break
+			}
+		}
+		if pm.Stats(mm.ZoneDMA).Fallbacks == 0 {
+			b.Fatal("no fallback observed")
+		}
+	}
+}
+
+// BenchmarkE13Defences measures a TRR-protected double-sided hammer run:
+// the defence's cost is extra refreshes, the attack's cost is total loss of
+// flips (table E13).  The metric is the flip count, expected 0.
+func BenchmarkE13Defences(b *testing.B) {
+	cfg := kernel.DefaultConfig()
+	cfg.Geometry = dram.Geometry{Channels: 1, DIMMs: 1, Ranks: 1, Banks: 4, Rows: 1024, RowBytes: 8192}
+	cfg.FaultModel = dram.FaultModel{
+		WeakCellDensity: 2e-4,
+		BaseThreshold:   1500,
+		ThresholdSpread: 0.5,
+		NeighbourWeight: 0.25,
+		RefreshInterval: 1 << 21,
+		FlipReliability: 1,
+		TRR:             dram.TRRConfig{Enabled: true, TrackerSize: 4, Threshold: 300},
+	}
+	m, err := kernel.NewMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _ := m.Spawn("attacker", 0)
+	const length = 2 << 20
+	base, _ := p.Mmap(length)
+	if err := p.Touch(base, length); err != nil {
+		b.Fatal(err)
+	}
+	eng := rowhammer.New(rowhammer.Config{Mode: rowhammer.DoubleSided, PairHammerCount: 3200}, m, p)
+	agg, err := eng.FindAggressors(base+64*vm.PageSize, base, length)
+	if err != nil {
+		b.Fatal(err)
+	}
+	before := m.DRAM().Stats().BitFlips
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.HammerDefault(agg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.DRAM().Stats().BitFlips-before), "flips_total")
+	b.ReportMetric(float64(m.DRAM().Stats().TRRRefreshes)/float64(b.N), "trr_refreshes/op")
+}
+
+// BenchmarkE14PCPPolicy runs one FIFO-ablated steering trial per iteration
+// (table E14); the hit rate is expected to be 0.
+func BenchmarkE14PCPPolicy(b *testing.B) {
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultSteeringConfig()
+		cfg.Seed = uint64(i)
+		cfg.Machine.PCPFIFO = true
+		res, err := core.RunSteeringTrial(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FirstPageHit {
+			hits++
+		}
+	}
+	b.ReportMetric(float64(hits)/float64(b.N), "fifo_steer_rate")
+}
+
+// --- substrate microbenches ----------------------------------------------
+
+func BenchmarkAESEncryptBlock(b *testing.B) {
+	ks, _ := aes.Expand(make([]byte, 16))
+	sb := aes.SBox()
+	src := make([]byte, 16)
+	dst := make([]byte, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aes.EncryptBlock(ks, &sb, dst, src)
+	}
+}
+
+func BenchmarkPresentEncryptBlock(b *testing.B) {
+	ks, _ := present.Expand(make([]byte, 10))
+	sb := present.SBox()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		present.Encrypt(ks, &sb, uint64(i))
+	}
+}
+
+func BenchmarkBuddyAllocFreeOrder3(b *testing.B) {
+	pm, _ := mm.New(mm.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := pm.AllocPages(0, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pm.FreePages(0, p, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPCPAllocFree(b *testing.B) {
+	pm, _ := mm.New(mm.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := pm.AllocPages(0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pm.FreePages(0, p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDRAMActivate(b *testing.B) {
+	dev, _ := dram.NewDevice(dram.DefaultGeometry(), dram.DefaultFaultModel(), 1)
+	m := dev.Mapper()
+	a := m.ToDRAM(0)
+	p1 := m.SameBankRow(a, 100, 0)
+	p2 := m.SameBankRow(a, 200, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.ActivateRow(p1)
+		dev.ActivateRow(p2)
+	}
+}
+
+func BenchmarkPageTableMapUnmap(b *testing.B) {
+	pt := vm.NewPageTable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := vm.VirtAddr(uint64(i%1024) * vm.PageSize)
+		if err := pt.Map(va, mm.PFN(i), true); err != nil {
+			b.Fatal(err)
+		}
+		pt.Unmap(va)
+	}
+}
+
+func BenchmarkProcessLoad(b *testing.B) {
+	m, _ := kernel.NewMachine(kernel.DefaultConfig())
+	p, _ := m.Spawn("bench", 0)
+	base, _ := p.Mmap(64 * vm.PageSize)
+	p.Touch(base, 64*vm.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Load(base + vm.VirtAddr(i%(64*vm.PageSize))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// benchtab regenerates every experiment table in DESIGN.md's evaluation
+// index (E1..E12).
+//
+// Usage:
+//
+//	benchtab            # run everything
+//	benchtab -exp E3    # one experiment
+//	benchtab -seed 7    # change the global seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"explframe/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (e.g. E3); empty = all")
+	seed := flag.Uint64("seed", 1, "global experiment seed")
+	flag.Parse()
+
+	runners := experiments.All()
+	ran := 0
+	for _, r := range runners {
+		if *exp != "" && !strings.EqualFold(*exp, r.ID) {
+			continue
+		}
+		start := time.Now()
+		tb, err := r.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(tb.Render())
+		fmt.Printf("   (%s in %.1fs)\n\n", r.ID, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches %q; known ids:", *exp)
+		for _, r := range runners {
+			fmt.Fprintf(os.Stderr, " %s", r.ID)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,112 @@
+// explframe runs one end-to-end ExplFrame attack on the simulated stack and
+// prints a phase-by-phase report: templating, frame planting, page frame
+// cache steering, re-hammering, and persistent fault analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"explframe/internal/core"
+	"explframe/internal/dram"
+	"explframe/internal/rowhammer"
+	"explframe/internal/trace"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "attack seed (weak cells, keys, noise)")
+	cipher := flag.String("cipher", "aes", "victim cipher: aes or present")
+	noise := flag.Int("noise", 0, "noise processes churning on the victim CPU")
+	noiseOps := flag.Int("noise-ops", 0, "allocation events the noise performs")
+	crossCPU := flag.Bool("cross-cpu", false, "pin the victim to a different CPU (expected to defeat the attack)")
+	sleep := flag.Bool("sleep", false, "attacker sleeps after planting (expected to defeat the attack)")
+	ciphertexts := flag.Int("ciphertexts", 12000, "faulty ciphertext budget for PFA")
+	trr := flag.Bool("trr", false, "enable the TRR mitigation (tracker 4, threshold 300)")
+	ecc := flag.Bool("ecc", false, "enable SEC-DED ECC")
+	manySided := flag.Int("many-sided", 0, "use many-sided hammering with this many decoy rows (TRR bypass)")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NoiseProcs = *noise
+	cfg.NoiseOps = *noiseOps
+	cfg.AttackerSleeps = *sleep
+	cfg.Ciphertexts = *ciphertexts
+	if *crossCPU {
+		cfg.VictimCPU = 1
+	}
+	if *trr {
+		cfg.Machine.FaultModel.TRR = dram.TRRConfig{Enabled: true, TrackerSize: 4, Threshold: 300}
+	}
+	if *ecc {
+		cfg.Machine.FaultModel.ECC = dram.ECCSecDed
+	}
+	if *manySided > 0 {
+		cfg.Hammer.Mode = rowhammer.ManySided
+		cfg.Hammer.Decoys = *manySided
+	}
+	switch *cipher {
+	case "aes":
+		cfg.VictimKind = trace.AES128
+	case "present":
+		cfg.VictimKind = trace.PRESENT80
+		cfg.VictimKey = []byte{0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef, 0x01, 0x23}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown cipher %q\n", *cipher)
+		os.Exit(2)
+	}
+
+	fmt.Printf("ExplFrame attack: %v victim, seed %d\n", cfg.VictimKind, cfg.Seed)
+	fmt.Printf("  machine: %d MiB DRAM, %d CPUs, weak-cell density %g\n",
+		cfg.Machine.Geometry.TotalBytes()>>20, cfg.Machine.NumCPUs, cfg.Machine.FaultModel.WeakCellDensity)
+	fmt.Printf("  attacker: %d MiB buffer on CPU %d; victim: %d pages on CPU %d\n\n",
+		cfg.AttackerMemory>>20, cfg.AttackerCPU, cfg.VictimRequestPages, cfg.VictimCPU)
+
+	atk, err := core.NewAttack(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "setup: %v\n", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	rep, err := atk.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulator error: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("[template] flips found: %d, usable site: %v\n", rep.FlipsTemplated, rep.SiteFound)
+	if rep.SiteFound {
+		fmt.Printf("           site: page offset %d bit %d (%d->%d), row %d bank %d\n",
+			rep.Site.ByteInPage, rep.Site.Bit, rep.Site.From, 1-rep.Site.From,
+			rep.Site.Agg.VictimRow, rep.Site.Agg.Bank)
+		fmt.Printf("[plant]    released frame PFN %d into the page frame cache\n", rep.PlantedPFN)
+		fmt.Printf("[steer]    victim table frame PFN %d — steering %s\n", rep.VictimTablePFN, verdict(rep.SteeringHit))
+		fmt.Printf("[rehammer] fault in victim table: %s", verdict(rep.FaultInjected))
+		if rep.FaultInjected {
+			fmt.Printf(" (table[%#02x])", rep.CorruptIndex)
+		}
+		fmt.Println()
+		if rep.CiphertextsUsed > 0 || rep.KeyRecovered {
+			fmt.Printf("[analyse]  %d faulty ciphertexts, residual entropy %.1f bits\n",
+				rep.CiphertextsUsed, rep.ResidualEntropy)
+		}
+	}
+	fmt.Printf("[hammer]   %d activations across %d runs\n", rep.Hammer.Activations, rep.Hammer.Pairsentries)
+	fmt.Println()
+	if rep.Success() {
+		fmt.Printf("SUCCESS: recovered key %x in %.1fs\n", rep.RecoveredKey, elapsed.Seconds())
+		return
+	}
+	fmt.Printf("FAILED at phase %q: %s (%.1fs)\n", rep.Phase, rep.FailReason, elapsed.Seconds())
+	os.Exit(1)
+}
+
+func verdict(b bool) string {
+	if b {
+		return "HIT"
+	}
+	return "miss"
+}

@@ -1,0 +1,109 @@
+// hammerlab characterises the simulated DRAM module the way a Rowhammer
+// templating tool does: it fills a buffer, hammers every row, and reports
+// each flippable bit with its location, polarity, and reproducibility.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"explframe/internal/dram"
+	"explframe/internal/kernel"
+	"explframe/internal/rowhammer"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "weak-cell placement seed")
+	megabytes := flag.Int("mb", 8, "buffer size to template (MiB)")
+	budget := flag.Int("budget", 10000, "hammer pairs per row")
+	density := flag.Float64("density", 8e-5, "weak-cell density")
+	single := flag.Bool("single", false, "use single-sided hammering")
+	decoys := flag.Int("decoys", 0, "many-sided decoy rows (enables the TRR-bypass pattern)")
+	trr := flag.Bool("trr", false, "enable the TRR mitigation (tracker 4, threshold 300)")
+	repro := flag.Int("repro", 5, "reproducibility runs per flip site (0 to skip)")
+	flag.Parse()
+
+	cfg := kernel.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.FaultModel = dram.FaultModel{
+		WeakCellDensity: *density,
+		BaseThreshold:   4000,
+		ThresholdSpread: 1.5,
+		NeighbourWeight: 0.25,
+		RefreshInterval: 1 << 21,
+		FlipReliability: 0.98,
+	}
+	if *trr {
+		cfg.FaultModel.TRR = dram.TRRConfig{Enabled: true, TrackerSize: 4, Threshold: 300}
+	}
+	m, err := kernel.NewMachine(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	proc, err := m.Spawn("hammerlab", 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	length := uint64(*megabytes) << 20
+	base, err := proc.Mmap(length)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := proc.Touch(base, length); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	mode := rowhammer.DoubleSided
+	if *single {
+		mode = rowhammer.SingleSided
+	}
+	if *decoys > 0 {
+		mode = rowhammer.ManySided
+	}
+	eng := rowhammer.New(rowhammer.Config{Mode: mode, PairHammerCount: *budget, Decoys: *decoys}, m, proc)
+
+	fmt.Printf("templating %d MiB, %s, %d pairs/row, density %g, seed %d\n",
+		*megabytes, mode, *budget, *density, *seed)
+	flips, err := eng.Template(base, length)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := eng.Stats()
+	fmt.Printf("rows scanned: %d, activations: %d, flips: %d\n\n", st.RowsScanned, st.Activations, len(flips))
+
+	fmt.Printf("%-5s %-12s %-4s %-9s %-10s %s\n", "site", "page_offset", "bit", "polarity", "row", "repro")
+	for i, f := range flips {
+		polarity := "1->0"
+		pattern := rowhammer.PatternOnes
+		if f.From == 0 {
+			polarity = "0->1"
+			pattern = rowhammer.PatternZeros
+		}
+		reproStr := "-"
+		if *repro > 0 {
+			ok := 0
+			for r := 0; r < *repro; r++ {
+				m.DRAM().Refresh()
+				re, err := eng.Reproduce(f, pattern)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if re {
+					ok++
+				}
+			}
+			reproStr = fmt.Sprintf("%d/%d", ok, *repro)
+		}
+		fmt.Printf("%-5d %-12d %-4d %-9s %-10d %s\n", i, f.ByteInPage, f.Bit, polarity, f.Agg.VictimRow, reproStr)
+	}
+	if len(flips) == 0 {
+		fmt.Println("(no flips — module too sound for this budget)")
+	}
+}

@@ -1,0 +1,100 @@
+// Allocator steering: the Section V exploit mechanics in isolation, shown
+// directly against the kernel API — no Rowhammer, no crypto, just the
+// per-CPU page frame cache handing an attacker-chosen frame to the victim.
+//
+// The demo walks the exact sequence of the paper: the attacker maps and
+// touches a buffer, unmaps one page, stays active, and the victim's next
+// small allocation on the same CPU receives precisely that frame; the same
+// sequence is then repeated with the three conditions the paper says break
+// the attack (cross-CPU victim, sleeping attacker, noisy neighbour).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"explframe/internal/kernel"
+	"explframe/internal/mm"
+	"explframe/internal/stats"
+	"explframe/internal/trace"
+	"explframe/internal/vm"
+)
+
+func main() {
+	fmt.Println("-- same CPU, attacker active (the attack) --")
+	demo(func(m *kernel.Machine, planted mm.PFN, attacker *kernel.Process) (*kernel.Process, error) {
+		return m.Spawn("victim", 0)
+	}, false)
+
+	fmt.Println("\n-- victim on the other CPU (defeats the attack) --")
+	demo(func(m *kernel.Machine, planted mm.PFN, attacker *kernel.Process) (*kernel.Process, error) {
+		return m.Spawn("victim", 1)
+	}, false)
+
+	fmt.Println("\n-- attacker sleeps before the victim arrives (defeats the attack) --")
+	demo(func(m *kernel.Machine, planted mm.PFN, attacker *kernel.Process) (*kernel.Process, error) {
+		attacker.Sleep() // the CPU idles; the kernel drains its page frame cache
+		return m.Spawn("victim", 0)
+	}, false)
+
+	fmt.Println("\n-- noisy neighbour churns between plant and steer --")
+	demo(func(m *kernel.Machine, planted mm.PFN, attacker *kernel.Process) (*kernel.Process, error) {
+		noise, err := trace.SpawnNoise(m, 0, 2, stats.NewRNG(7))
+		if err != nil {
+			return nil, err
+		}
+		if err := noise.Churn(200); err != nil {
+			return nil, err
+		}
+		return m.Spawn("victim", 0)
+	}, true)
+}
+
+// demo runs one plant-and-steer sequence; spawnVictim injects the scenario
+// twist between planting and the victim's arrival.
+func demo(spawnVictim func(*kernel.Machine, mm.PFN, *kernel.Process) (*kernel.Process, error), noisy bool) {
+	m, err := kernel.NewMachine(kernel.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker, err := m.Spawn("attacker", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Attacker: map, touch ("the program must store some data into the
+	// allocated pages"), pick a page, release it.
+	const pages = 64
+	base, err := attacker.Mmap(pages * vm.PageSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := attacker.Touch(base, pages*vm.PageSize); err != nil {
+		log.Fatal(err)
+	}
+	target := base + 17*vm.PageSize
+	pa, _ := attacker.Translate(target)
+	planted := mm.PFNOf(pa)
+	if err := attacker.Munmap(target, vm.PageSize); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attacker released PFN %d into CPU0's page frame cache\n", planted)
+
+	victim, err := spawnVictim(m, planted, attacker)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vbase, err := victim.Mmap(vm.PageSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := victim.Store(vbase, 0xAA); err != nil {
+		log.Fatal(err)
+	}
+	vpa, _ := victim.Translate(vbase)
+	got := mm.PFNOf(vpa)
+	fmt.Printf("victim's first page got PFN %d -> steering %v\n", got, got == planted)
+	if noisy && got != planted {
+		fmt.Println("(the noise consumed or buried the planted frame)")
+	}
+}

@@ -1,0 +1,57 @@
+// PRESENT-80 key recovery via persistent fault analysis: the block-cipher
+// generality claim of the paper's title.  A nibble-level S-box fault leaks
+// the last round key through missing values of the inverse permutation
+// layer; the 80-bit master key follows from a 2^16 schedule inversion
+// resolved against one clean known pair.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"explframe/internal/cipher/present"
+	"explframe/internal/fault/pfa"
+	"explframe/internal/stats"
+)
+
+func main() {
+	rng := stats.NewRNG(5)
+
+	key := make([]byte, 10)
+	rng.Bytes(key)
+	ks, err := present.Expand(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	table := present.SBox()
+	const faultedEntry = 0x9
+	yStar := table[faultedEntry]
+	table[faultedEntry] ^= 0x1
+	fmt.Printf("fault: S[%#x]: %#x -> %#x\n", faultedEntry, yStar, table[faultedEntry])
+
+	// One clean known pair, captured before the fault landed.
+	clean := present.SBox()
+	cleanPT := rng.Uint64()
+	cleanCT := present.Encrypt(ks, &clean, cleanPT)
+
+	collector := pfa.NewPresentCollector()
+	for n := 1; ; n++ {
+		collector.Observe(present.Encrypt(ks, &table, rng.Uint64()))
+		if n%20 != 0 {
+			continue
+		}
+		fmt.Printf("n=%4d  residual K32 entropy %5.1f bits\n", n, collector.ResidualEntropy())
+		got, err := collector.RecoverMasterKnownFault(yStar, cleanPT, cleanCT)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("\nrecovered 80-bit master key after %d ciphertexts: %x\n", n, got)
+		if !bytes.Equal(got, key) {
+			log.Fatalf("mismatch: victim key was %x", key)
+		}
+		fmt.Println("matches the victim key.")
+		return
+	}
+}

@@ -1,0 +1,37 @@
+// Quickstart: run the complete ExplFrame attack with default settings and
+// print the outcome.  This is the five-line introduction to the library —
+// build the attack, run it, read the report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"explframe/internal/core"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.Seed = 42
+
+	attack, err := core.NewAttack(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := attack.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("phase reached:   %s\n", report.Phase)
+	fmt.Printf("steering hit:    %v\n", report.SteeringHit)
+	fmt.Printf("fault injected:  %v\n", report.FaultInjected)
+	fmt.Printf("key recovered:   %v\n", report.KeyRecovered)
+	if report.KeyRecovered {
+		fmt.Printf("victim key:      %x\n", cfg.VictimKey)
+		fmt.Printf("recovered key:   %x\n", report.RecoveredKey)
+		fmt.Printf("ciphertexts:     %d\n", report.CiphertextsUsed)
+	} else {
+		fmt.Printf("failure reason:  %s\n", report.FailReason)
+	}
+}

@@ -1,0 +1,291 @@
+// Package present implements the PRESENT lightweight block cipher
+// (Bogdanov et al., CHES 2007) with a faultable S-box table, as the second
+// target for the paper's "fault analysis of block ciphers": persistent
+// fault analysis works on any SPN whose S-box lives in corruptible memory.
+//
+// The implementation keeps the 64-bit state in a uint64 with bit 0 as the
+// least significant bit, the convention of the specification.
+package present
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BlockSize is the PRESENT block size in bytes.
+const BlockSize = 8
+
+// Rounds is the number of substitution-permutation rounds; 32 round keys
+// are consumed (K1..K31 in rounds, K32 as the final whitening key).
+const Rounds = 31
+
+// sbox is the 4-bit PRESENT S-box.
+var sbox = [16]byte{0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2}
+
+var invSbox [16]byte
+
+func init() {
+	for i, v := range sbox {
+		invSbox[v] = byte(i)
+	}
+}
+
+// SBox returns a fresh copy of the S-box; victims store it in simulated
+// memory where a Rowhammer flip can corrupt it.  Entries are 4-bit values
+// stored one per byte.
+func SBox() [16]byte { return sbox }
+
+// InvSBox returns a fresh copy of the inverse S-box.
+func InvSBox() [16]byte { return invSbox }
+
+// PLayer applies the PRESENT bit permutation: bit i of the input moves to
+// bit position 16*i mod 63 (bit 63 fixed).
+func PLayer(x uint64) uint64 {
+	var out uint64
+	for i := 0; i < 63; i++ {
+		out |= ((x >> uint(i)) & 1) << uint(i*16%63)
+	}
+	out |= x & (1 << 63)
+	return out
+}
+
+// InvPLayer inverts PLayer.
+func InvPLayer(x uint64) uint64 {
+	var out uint64
+	for i := 0; i < 63; i++ {
+		out |= ((x >> uint(i*16%63)) & 1) << uint(i)
+	}
+	out |= x & (1 << 63)
+	return out
+}
+
+// sboxLayer substitutes all 16 nibbles through the table.  Table entries
+// are masked to 4 bits so an out-of-range corrupted entry behaves like the
+// hardware it models (only the low nibble reaches the datapath).
+func sboxLayer(x uint64, sb *[16]byte) uint64 {
+	var out uint64
+	for i := 0; i < 16; i++ {
+		n := (x >> uint(4*i)) & 0xF
+		out |= uint64(sb[n]&0xF) << uint(4*i)
+	}
+	return out
+}
+
+// Schedule holds the 32 round keys.
+type Schedule struct {
+	rk      [Rounds + 1]uint64
+	keySize int // 80 or 128
+}
+
+// RoundKey returns round key i, 1-based as in the specification (1..32).
+func (s *Schedule) RoundKey(i int) uint64 { return s.rk[i-1] }
+
+// KeySize returns the master key size in bits.
+func (s *Schedule) KeySize() int { return s.keySize }
+
+// ErrKeySize reports an unsupported key length.
+var ErrKeySize = errors.New("present: key must be 10 (80-bit) or 16 (128-bit) bytes")
+
+// Expand derives the round keys from a 10-byte (PRESENT-80) or 16-byte
+// (PRESENT-128) master key, big-endian (key[0] holds bits 79..72 for the
+// 80-bit variant).
+func Expand(key []byte) (*Schedule, error) {
+	switch len(key) {
+	case 10:
+		return expand80(key), nil
+	case 16:
+		return expand128(key), nil
+	default:
+		return nil, fmt.Errorf("%w: got %d bytes", ErrKeySize, len(key))
+	}
+}
+
+// expand80 runs the 80-bit key schedule: the register is k79..k0, the round
+// key is the top 64 bits, and the update is a 61-bit left rotation, S-box on
+// the top nibble, and the round counter XORed into bits 19..15.
+func expand80(key []byte) *Schedule {
+	hi := uint64(0) // k79..k16
+	lo := uint64(0) // k15..k0
+	for i := 0; i < 8; i++ {
+		hi = hi<<8 | uint64(key[i])
+	}
+	lo = uint64(key[8])<<8 | uint64(key[9])
+
+	s := &Schedule{keySize: 80}
+	for r := 1; r <= Rounds+1; r++ {
+		s.rk[r-1] = hi
+		if r == Rounds+1 {
+			break
+		}
+		hi, lo = rotate80(hi, lo, 61)
+		top := byte(hi >> 60)
+		hi = hi&^(0xF<<60) | uint64(sbox[top])<<60
+		// Round counter into bits 19..15: bits 19..16 live in hi's low
+		// nibble, bit 15 is lo's top bit.
+		ctr := uint64(r)
+		hi ^= ctr >> 1
+		lo ^= (ctr & 1) << 15
+	}
+	return s
+}
+
+// rotate80 rotates the 80-bit register (hi: top 64 bits, lo: bottom 16)
+// left by 61 bits — the only rotation the schedule uses.  A left rotation
+// by 61 is a right rotation by 19: the low 19 bits wrap to the top.
+func rotate80(hi, lo uint64, n uint) (uint64, uint64) {
+	if n != 61 {
+		panic("present: only the 61-bit schedule rotation is supported")
+	}
+	wrapped := (hi&0x7)<<16 | lo // low 19 bits of the register
+	newLo := (hi >> 3) & 0xFFFF
+	newHi := hi>>19 | wrapped<<45
+	return newHi, newLo
+}
+
+// invRotate80 rotates right by 61 bits (left by 19): the top 19 bits wrap
+// to the bottom.
+func invRotate80(hi, lo uint64, n uint) (uint64, uint64) {
+	if n != 61 {
+		panic("present: only the 61-bit schedule rotation is supported")
+	}
+	newLo := (hi >> 45) & 0xFFFF
+	newHi := lo<<3 | hi<<19 | hi>>61
+	return newHi, newLo
+}
+
+// expand128 runs the 128-bit key schedule: 61-bit rotation, S-box on the
+// top two nibbles, counter XORed into bits 66..62.
+func expand128(key []byte) *Schedule {
+	hi := uint64(0) // k127..k64
+	lo := uint64(0) // k63..k0
+	for i := 0; i < 8; i++ {
+		hi = hi<<8 | uint64(key[i])
+		lo = lo<<8 | uint64(key[i+8])
+	}
+	s := &Schedule{keySize: 128}
+	for r := 1; r <= Rounds+1; r++ {
+		s.rk[r-1] = hi
+		if r == Rounds+1 {
+			break
+		}
+		// Rotate the 128-bit register left by 61.
+		nhi := hi<<61 | lo>>3
+		nlo := lo<<61 | hi>>3
+		hi, lo = nhi, nlo
+		hi = hi&^(0xF<<60) | uint64(sbox[byte(hi>>60)])<<60
+		hi = hi&^(0xF<<56) | uint64(sbox[byte(hi>>56)&0xF])<<56
+		ctr := uint64(r)
+		// Bits 66..62: bits 66..64 are hi's low 3 bits, 63..62 lo's top 2.
+		hi ^= ctr >> 2
+		lo ^= (ctr & 3) << 62
+	}
+	return s
+}
+
+// Encrypt enciphers one 64-bit block with the given round keys and S-box.
+func Encrypt(ks *Schedule, sb *[16]byte, block uint64) uint64 {
+	st := block
+	for r := 1; r <= Rounds; r++ {
+		st ^= ks.RoundKey(r)
+		st = sboxLayer(st, sb)
+		st = PLayer(st)
+	}
+	return st ^ ks.RoundKey(Rounds+1)
+}
+
+// Decrypt deciphers one block using the inverse S-box.
+func Decrypt(ks *Schedule, isb *[16]byte, block uint64) uint64 {
+	st := block ^ ks.RoundKey(Rounds+1)
+	for r := Rounds; r >= 1; r-- {
+		st = InvPLayer(st)
+		st = sboxLayer(st, isb)
+		st ^= ks.RoundKey(r)
+	}
+	return st
+}
+
+// EncryptBlock is the byte-slice form of Encrypt (big-endian blocks).
+func EncryptBlock(ks *Schedule, sb *[16]byte, dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("present: short block")
+	}
+	putU64(dst, Encrypt(ks, sb, getU64(src)))
+}
+
+// DecryptBlock is the byte-slice form of Decrypt.
+func DecryptBlock(ks *Schedule, isb *[16]byte, dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("present: short block")
+	}
+	putU64(dst, Decrypt(ks, isb, getU64(src)))
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// RecoverMasterFromLastRound inverts the PRESENT-80 key schedule given the
+// final round key K32 and a known plaintext/ciphertext pair to resolve the
+// 16 register bits K32 does not expose.  It brute-forces those 16 bits
+// (2^16 schedule inversions, parallelised across CPUs) and returns the
+// 10-byte master key.
+func RecoverMasterFromLastRound(k32 uint64, plaintext, ciphertext uint64) ([]byte, bool) {
+	sb := SBox()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	results := make(chan []byte, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for guess := w; guess < 1<<16; guess += workers {
+				hi, lo := k32, uint64(guess)
+				// Invert the 31 schedule updates, counters 31..1.
+				for r := Rounds; r >= 1; r-- {
+					ctr := uint64(r)
+					hi ^= ctr >> 1
+					lo ^= (ctr & 1) << 15
+					top := byte(hi >> 60)
+					hi = hi&^(uint64(0xF)<<60) | uint64(invSbox[top])<<60
+					hi, lo = invRotate80(hi, lo, 61)
+				}
+				key := make([]byte, 10)
+				for i := 0; i < 8; i++ {
+					key[i] = byte(hi >> uint(8*(7-i)))
+				}
+				key[8] = byte(lo >> 8)
+				key[9] = byte(lo)
+				ks, _ := Expand(key)
+				if Encrypt(ks, &sb, plaintext) == ciphertext {
+					select {
+					case results <- key:
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	key, ok := <-results
+	return key, ok
+}

@@ -1,0 +1,213 @@
+package present
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// Known-answer tests from the PRESENT paper (CHES 2007, Table 2).
+func TestKnownAnswer80(t *testing.T) {
+	cases := []struct {
+		key string
+		pt  uint64
+		ct  uint64
+	}{
+		{"00000000000000000000", 0x0000000000000000, 0x5579C1387B228445},
+		{"FFFFFFFFFFFFFFFFFFFF", 0x0000000000000000, 0xE72C46C0F5945049},
+		{"00000000000000000000", 0xFFFFFFFFFFFFFFFF, 0xA112FFC72F68417B},
+		{"FFFFFFFFFFFFFFFFFFFF", 0xFFFFFFFFFFFFFFFF, 0x3333DCD3213210D2},
+	}
+	sb := SBox()
+	isb := InvSBox()
+	for _, tc := range cases {
+		key, err := hex.DecodeString(tc.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks, err := Expand(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Encrypt(ks, &sb, tc.pt); got != tc.ct {
+			t.Fatalf("key %s pt %016x: got %016x want %016x", tc.key, tc.pt, got, tc.ct)
+		}
+		if got := Decrypt(ks, &isb, tc.ct); got != tc.pt {
+			t.Fatalf("key %s ct %016x: decrypt got %016x want %016x", tc.key, tc.ct, got, tc.pt)
+		}
+	}
+}
+
+func TestExpandRejectsBadKeys(t *testing.T) {
+	for _, n := range []int{0, 9, 11, 15, 17} {
+		if _, err := Expand(make([]byte, n)); err == nil {
+			t.Fatalf("key size %d accepted", n)
+		}
+	}
+}
+
+func TestExpand128Works(t *testing.T) {
+	ks, err := Expand(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.KeySize() != 128 {
+		t.Fatalf("KeySize = %d", ks.KeySize())
+	}
+	sb, isb := SBox(), InvSBox()
+	ct := Encrypt(ks, &sb, 0x0123456789abcdef)
+	if Decrypt(ks, &isb, ct) != 0x0123456789abcdef {
+		t.Fatal("128-bit round trip failed")
+	}
+}
+
+func TestPLayerInverse(t *testing.T) {
+	f := func(x uint64) bool {
+		return InvPLayer(PLayer(x)) == x && PLayer(InvPLayer(x)) == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPLayerSpec(t *testing.T) {
+	// Bit i must move to 16*i mod 63 (63 fixed).
+	for i := 0; i < 64; i++ {
+		want := uint(i * 16 % 63)
+		if i == 63 {
+			want = 63
+		}
+		got := PLayer(uint64(1) << uint(i))
+		if got != uint64(1)<<want {
+			t.Fatalf("bit %d moved to %064b", i, got)
+		}
+	}
+}
+
+func TestSBoxBijective(t *testing.T) {
+	sb, isb := SBox(), InvSBox()
+	seen := map[byte]bool{}
+	for i, v := range sb {
+		if v > 0xF {
+			t.Fatalf("S-box entry %d out of range: %#x", i, v)
+		}
+		if seen[v] {
+			t.Fatalf("S-box value %#x repeated", v)
+		}
+		seen[v] = true
+		if isb[v] != byte(i) {
+			t.Fatalf("inverse mismatch at %d", i)
+		}
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	sb, isb := SBox(), InvSBox()
+	f := func(key [10]byte, pt uint64) bool {
+		ks, err := Expand(key[:])
+		if err != nil {
+			return false
+		}
+		return Decrypt(ks, &isb, Encrypt(ks, &sb, pt)) == pt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockForms(t *testing.T) {
+	key, _ := hex.DecodeString("00000000000000000000")
+	ks, _ := Expand(key)
+	sb, isb := SBox(), InvSBox()
+	src := make([]byte, 8)
+	dst := make([]byte, 8)
+	EncryptBlock(ks, &sb, dst, src)
+	want, _ := hex.DecodeString("5579C1387B228445")
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("EncryptBlock = %x", dst)
+	}
+	back := make([]byte, 8)
+	DecryptBlock(ks, &isb, back, dst)
+	if !bytes.Equal(back, src) {
+		t.Fatal("DecryptBlock round trip failed")
+	}
+}
+
+func TestShortBlockPanics(t *testing.T) {
+	ks, _ := Expand(make([]byte, 10))
+	sb := SBox()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on short block")
+		}
+	}()
+	EncryptBlock(ks, &sb, make([]byte, 8), make([]byte, 3))
+}
+
+// A single-bit fault in a used S-box entry must corrupt ciphertexts.
+func TestFaultedSBoxChangesOutput(t *testing.T) {
+	ks, _ := Expand(make([]byte, 10))
+	clean := SBox()
+	faulty := SBox()
+	faulty[3] ^= 0x1
+	var differs bool
+	for pt := uint64(0); pt < 64; pt++ {
+		if Encrypt(ks, &clean, pt) != Encrypt(ks, &faulty, pt) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("fault never propagated")
+	}
+	// A fault confined to the unused high nibble bits must be harmless.
+	masked := SBox()
+	masked[3] ^= 0x80
+	for pt := uint64(0); pt < 64; pt++ {
+		if Encrypt(ks, &clean, pt) != Encrypt(ks, &masked, pt) {
+			t.Fatal("high-nibble fault affected the datapath")
+		}
+	}
+}
+
+// Key schedule inversion via the last round key plus a known pair.
+func TestRecoverMasterFromLastRound(t *testing.T) {
+	key, _ := hex.DecodeString("0123456789abcdef0123")
+	ks, _ := Expand(key)
+	sb := SBox()
+	pt := uint64(0x0011223344556677)
+	ct := Encrypt(ks, &sb, pt)
+
+	got, ok := RecoverMasterFromLastRound(ks.RoundKey(32), pt, ct)
+	if !ok {
+		t.Fatal("recovery failed")
+	}
+	if !bytes.Equal(got, key) {
+		t.Fatalf("recovered %x want %x", got, key)
+	}
+}
+
+// The last-round structure PFA relies on: InvPLayer(c ^ K32) equals the
+// S-box layer output of the final round.
+func TestLastRoundStructure(t *testing.T) {
+	key, _ := hex.DecodeString("0123456789abcdef0123")
+	ks, _ := Expand(key)
+	sb := SBox()
+	pt := uint64(0xdeadbeefcafef00d)
+
+	// Recompute the state entering round 31's S-box layer.
+	st := pt
+	for r := 1; r <= Rounds-1; r++ {
+		st ^= ks.RoundKey(r)
+		st = sboxLayer(st, &sb)
+		st = PLayer(st)
+	}
+	st ^= ks.RoundKey(Rounds)
+	sOut := sboxLayer(st, &sb)
+
+	ct := Encrypt(ks, &sb, pt)
+	if InvPLayer(ct^ks.RoundKey(32)) != sOut {
+		t.Fatal("last-round structure violated")
+	}
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"explframe/internal/cipher/aes"
+	"explframe/internal/cipher/present"
+	"explframe/internal/fault/pfa"
+	"explframe/internal/kernel"
+	"explframe/internal/mm"
+	"explframe/internal/rowhammer"
+	"explframe/internal/stats"
+	"explframe/internal/trace"
+	"explframe/internal/vm"
+)
+
+// Phase names the attack stages for reporting.
+type Phase string
+
+// Attack phases in execution order.
+const (
+	PhaseSetup    Phase = "setup"
+	PhaseTemplate Phase = "template"
+	PhasePlant    Phase = "plant"
+	PhaseSteer    Phase = "steer"
+	PhaseRehammer Phase = "rehammer"
+	PhaseAnalyse  Phase = "analyse"
+	PhaseDone     Phase = "done"
+)
+
+// Report captures everything an attack run produced, phase by phase.
+type Report struct {
+	// Phase is the last phase reached (PhaseDone on full success).
+	Phase Phase
+	// FailReason is empty on success, otherwise why the run stopped.
+	FailReason string
+
+	// Template phase.
+	FlipsTemplated int
+	SiteFound      bool
+	Site           rowhammer.FlipSite
+
+	// Plant/steer phases.
+	PlantedPFN     mm.PFN
+	VictimTablePFN mm.PFN
+	SteeringHit    bool
+
+	// Re-hammer phase.
+	FaultInjected bool
+	CorruptIndex  int // first corrupted index in the S-box table
+	// CorruptIndices lists every corrupted table entry: collateral weak
+	// cells in the same row can add faults beyond the templated one, which
+	// switches the analysis to the multi-fault recovery.
+	CorruptIndices []int
+
+	// Analysis phase.
+	CiphertextsUsed int
+	ResidualEntropy float64
+	KeyRecovered    bool
+	RecoveredKey    []byte
+
+	// Engine counters.
+	Hammer rowhammer.Stats
+}
+
+// Success reports whether the full pipeline succeeded.
+func (r *Report) Success() bool { return r.Phase == PhaseDone && r.KeyRecovered }
+
+// Attack owns one configured run.
+type Attack struct {
+	cfg Config
+	m   *kernel.Machine
+	rng *stats.RNG
+}
+
+// NewAttack builds the machine for a run.
+func NewAttack(cfg Config) (*Attack, error) {
+	if cfg.Machine.NumCPUs == 0 {
+		cfg.Machine = kernel.DefaultConfig()
+	}
+	cfg.Machine.Seed = cfg.Seed
+	m, err := kernel.NewMachine(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.AttackerCPU >= m.NumCPUs() || cfg.VictimCPU >= m.NumCPUs() {
+		return nil, fmt.Errorf("core: cpu out of range")
+	}
+	return &Attack{cfg: cfg, m: m, rng: stats.NewRNG(cfg.Seed ^ 0xa77ac)}, nil
+}
+
+// Machine exposes the underlying machine for inspection.
+func (a *Attack) Machine() *kernel.Machine { return a.m }
+
+// usableFlip reports whether a templated flip would corrupt the victim's
+// table: right page offset, and a polarity that changes the table byte the
+// victim stores there.  The table contents are public (it is the cipher's
+// standard S-box), so the attacker can evaluate this locally.
+func (a *Attack) usableFlip(f rowhammer.FlipSite) bool {
+	off := a.cfg.VictimTableOffset
+	size := a.cfg.VictimKind.TableSize()
+	if f.ByteInPage < off || f.ByteInPage >= off+size {
+		return false
+	}
+	idx := f.ByteInPage - off
+	var entry byte
+	if a.cfg.VictimKind == trace.AES128 {
+		sb := aes.SBox()
+		entry = sb[idx]
+	} else {
+		sb := present.SBox()
+		entry = sb[idx]
+		if f.Bit >= 4 {
+			return false // PRESENT datapath only uses the low nibble
+		}
+	}
+	return (entry>>f.Bit)&1 == f.From&1
+}
+
+// Run executes the full pipeline and always returns a report; err is
+// reserved for simulator malfunctions, not attack failures (those are
+// recorded in the report).
+func (a *Attack) Run() (*Report, error) {
+	rep := &Report{Phase: PhaseSetup, CorruptIndex: -1}
+
+	// --- Setup: attacker process with a large touched mapping.
+	attacker, err := a.m.Spawn("attacker", a.cfg.AttackerCPU)
+	if err != nil {
+		return rep, err
+	}
+	base, err := attacker.Mmap(a.cfg.AttackerMemory)
+	if err != nil {
+		return rep, err
+	}
+	if err := attacker.Touch(base, a.cfg.AttackerMemory); err != nil {
+		return rep, err
+	}
+	engine := rowhammer.New(a.cfg.Hammer, a.m, attacker)
+
+	// --- Template: hunt for a flip that would corrupt the victim table.
+	rep.Phase = PhaseTemplate
+	site, all, found, err := engine.TemplateUntil(base, a.cfg.AttackerMemory, a.usableFlip)
+	rep.FlipsTemplated = len(all)
+	rep.Hammer = engine.Stats()
+	if err != nil {
+		return rep, err
+	}
+	if !found {
+		rep.FailReason = "no usable flip in attacker region"
+		return rep, nil
+	}
+	rep.SiteFound = true
+	rep.Site = site
+
+	// --- Plant: restore the page contents, then release the frame into
+	// the page frame cache.  (The kernel will zero it on reallocation
+	// anyway; the rewrite re-arms the weak cell.)
+	rep.Phase = PhasePlant
+	pa, ok := attacker.Translate(site.PageVA)
+	if !ok {
+		return rep, fmt.Errorf("core: templated page not resident")
+	}
+	rep.PlantedPFN = mm.PFNOf(pa)
+	if err := attacker.Munmap(site.PageVA, vm.PageSize); err != nil {
+		return rep, err
+	}
+	if a.cfg.AttackerSleeps {
+		attacker.Sleep()
+	}
+
+	// --- Interference window.
+	if a.cfg.NoiseProcs > 0 && a.cfg.NoiseOps > 0 {
+		noise, err := trace.SpawnNoise(a.m, a.cfg.VictimCPU, a.cfg.NoiseProcs, a.rng.Split())
+		if err != nil {
+			return rep, err
+		}
+		if err := noise.Churn(a.cfg.NoiseOps); err != nil {
+			return rep, err
+		}
+	}
+
+	// --- Steer: the victim allocates; its table page should receive the
+	// planted frame.
+	rep.Phase = PhaseSteer
+	victim, err := trace.SpawnVictim(a.m, a.cfg.VictimCPU, a.cfg.VictimKind,
+		a.cfg.VictimKey, a.cfg.VictimRequestPages, a.cfg.VictimTableOffset)
+	if err != nil {
+		return rep, err
+	}
+	vpa, ok := victim.Proc.Translate(victim.TablePage())
+	if !ok {
+		return rep, fmt.Errorf("core: victim table not resident")
+	}
+	rep.VictimTablePFN = mm.PFNOf(vpa)
+	rep.SteeringHit = rep.VictimTablePFN == rep.PlantedPFN
+	if a.cfg.AttackerSleeps {
+		attacker.Wake() // resume for the re-hammer phase
+	}
+
+	// Known clean pair for key-schedule disambiguation, captured before the
+	// fault lands (the attacker can observe pre-attack traffic).
+	var cleanPTPresent, cleanCTPresent uint64
+	var cleanPTAES, cleanCTAES []byte
+	switch a.cfg.VictimKind {
+	case trace.PRESENT80:
+		cleanPTPresent = a.rng.Uint64()
+		cleanCTPresent, err = victim.EncryptPresent(cleanPTPresent)
+		if err != nil {
+			return rep, err
+		}
+	case trace.AES128:
+		cleanPTAES = make([]byte, 16)
+		a.rng.Bytes(cleanPTAES)
+		ct, err := victim.EncryptAES(cleanPTAES)
+		if err != nil {
+			return rep, err
+		}
+		cleanCTAES = ct[:]
+	}
+
+	// --- Re-hammer the same aggressors; the flip lands in whatever data
+	// now occupies the planted frame.
+	rep.Phase = PhaseRehammer
+	if err := engine.HammerDefault(site.Agg); err != nil {
+		return rep, err
+	}
+	rep.Hammer = engine.Stats()
+	indices, values, err := victim.TableCorruptions()
+	if err != nil {
+		return rep, err
+	}
+	rep.FaultInjected = len(indices) > 0
+	rep.CorruptIndices = indices
+	rep.CorruptIndex = -1
+	if len(indices) > 0 {
+		rep.CorruptIndex = indices[0]
+	}
+	if !rep.FaultInjected && !a.cfg.CollectOnMiss {
+		rep.FailReason = "fault did not reach the victim table"
+		return rep, nil
+	}
+
+	// --- Analyse: collect faulty ciphertexts, run PFA.
+	rep.Phase = PhaseAnalyse
+	switch a.cfg.VictimKind {
+	case trace.AES128:
+		err = a.analyseAES(rep, victim, indices, values, cleanPTAES, cleanCTAES)
+	case trace.PRESENT80:
+		err = a.analysePresent(rep, victim, cleanPTPresent, cleanCTPresent)
+	default:
+		err = fmt.Errorf("core: unsupported cipher %v", a.cfg.VictimKind)
+	}
+	if err != nil {
+		return rep, err
+	}
+	if rep.KeyRecovered {
+		rep.Phase = PhaseDone
+	} else if rep.FailReason == "" {
+		rep.FailReason = "fault analysis did not converge within the ciphertext budget"
+	}
+	return rep, nil
+}
+
+// analyseAES drives the known-fault PFA attack.  The attacker knows which
+// table entries flipped (templating enumerated the page's flippable bits),
+// hence both the vanished output values y*_j = S_orig[v_j] and the values
+// y'_j now stored there.  One fault uses the plain elimination attack;
+// collateral extra faults switch to the multi-fault recovery.
+func (a *Attack) analyseAES(rep *Report, victim *trace.Victim, indices []int, values []byte, cleanPT, cleanCT []byte) error {
+	collector := pfa.NewAESCollector()
+	sb := aes.SBox()
+
+	var yStars, yPrimes []byte
+	for j, idx := range indices {
+		yStars = append(yStars, sb[idx])
+		yPrimes = append(yPrimes, values[j])
+	}
+	if len(yStars) == 0 {
+		// CollectOnMiss path: assume the templated site, which produces an
+		// inconsistency once enough clean ciphertexts arrive.
+		yStars = []byte{sb[rep.Site.ByteInPage-a.cfg.VictimTableOffset]}
+		yPrimes = []byte{yStars[0] ^ (1 << rep.Site.Bit)}
+	}
+
+	recover := func() ([16]byte, error) {
+		if len(yStars) == 1 {
+			return collector.RecoverMasterKnownFault(yStars[0])
+		}
+		// Multi-fault: frequency scoring resolves the XOR symmetry in the
+		// common case; the clean pair settles the degenerate same-bit case
+		// through the key schedule.
+		return collector.RecoverMasterMultiFaultWithPair(yStars, yPrimes, cleanPT, cleanCT)
+	}
+
+	pt := make([]byte, 16)
+	checkEvery := 512
+	for n := 0; n < a.cfg.Ciphertexts; n++ {
+		a.rng.Bytes(pt)
+		ct, err := victim.EncryptAES(pt)
+		if err != nil {
+			return err
+		}
+		if err := collector.Observe(ct[:]); err != nil {
+			return err
+		}
+		if (n+1)%checkEvery == 0 || n+1 == a.cfg.Ciphertexts {
+			master, err := recover()
+			if err != nil {
+				if errors.Is(err, pfa.ErrUnderdetermined) {
+					continue
+				}
+				if errors.Is(err, pfa.ErrInconsistent) {
+					rep.FailReason = fmt.Sprintf("observations inconsistent with the %d-fault hypothesis", len(yStars))
+					break
+				}
+				return err
+			}
+			rep.CiphertextsUsed = int(collector.N())
+			rep.ResidualEntropy = collector.ResidualEntropy()
+			rep.RecoveredKey = master[:]
+			rep.KeyRecovered = string(master[:]) == string(a.cfg.VictimKey)
+			if !rep.KeyRecovered {
+				rep.FailReason = "recovered key does not match victim key"
+			}
+			return nil
+		}
+	}
+	rep.CiphertextsUsed = int(collector.N())
+	rep.ResidualEntropy = collector.ResidualEntropy()
+	return nil
+}
+
+// analysePresent is the PRESENT-80 counterpart, resolving the key-schedule
+// remainder with the clean known pair.
+func (a *Attack) analysePresent(rep *Report, victim *trace.Victim, cleanPT, cleanCT uint64) error {
+	if len(rep.CorruptIndices) > 1 {
+		// Collateral faults in the 16-byte table are rare; the nibble-wise
+		// multi-fault analysis is not implemented, so report it plainly
+		// rather than burning the ciphertext budget.
+		rep.FailReason = fmt.Sprintf("%d faults in the PRESENT table; multi-fault nibble analysis unsupported", len(rep.CorruptIndices))
+		return nil
+	}
+	collector := pfa.NewPresentCollector()
+	sb := present.SBox()
+	vStar := rep.CorruptIndex
+	if vStar < 0 {
+		vStar = rep.Site.ByteInPage - a.cfg.VictimTableOffset
+	}
+	yStar := sb[vStar]
+
+	checkEvery := 64
+	for n := 0; n < a.cfg.Ciphertexts; n++ {
+		ct, err := victim.EncryptPresent(a.rng.Uint64())
+		if err != nil {
+			return err
+		}
+		collector.Observe(ct)
+		if (n+1)%checkEvery == 0 || n+1 == a.cfg.Ciphertexts {
+			key, err := collector.RecoverMasterKnownFault(yStar, cleanPT, cleanCT)
+			if err != nil {
+				if errors.Is(err, pfa.ErrUnderdetermined) {
+					continue
+				}
+				if errors.Is(err, pfa.ErrInconsistent) {
+					rep.FailReason = "observations inconsistent with a single-entry fault"
+					break
+				}
+				return err
+			}
+			rep.CiphertextsUsed = int(collector.N())
+			rep.ResidualEntropy = collector.ResidualEntropy()
+			rep.RecoveredKey = key
+			rep.KeyRecovered = string(key) == string(a.cfg.VictimKey)
+			if !rep.KeyRecovered {
+				rep.FailReason = "recovered key does not match victim key"
+			}
+			return nil
+		}
+	}
+	rep.CiphertextsUsed = int(collector.N())
+	rep.ResidualEntropy = collector.ResidualEntropy()
+	return nil
+}

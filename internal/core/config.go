@@ -1,0 +1,116 @@
+// Package core orchestrates the complete ExplFrame attack the paper
+// describes, end to end on the simulated stack:
+//
+//  1. Template — the attacker fills a large mapping and Rowhammers its own
+//     pages until it finds a reproducible bit flip whose page offset and
+//     polarity would corrupt the victim's S-box table (Section VI).
+//  2. Plant — the attacker munmaps the vulnerable page; the freed frame
+//     lands hot in the CPU's page frame cache (Section V).
+//  3. Wait — the attacker stays busy (sleeping would drain the cache) while
+//     unrelated noise may churn the allocator.
+//  4. Steer — the victim starts on the same CPU and its first-touched page
+//     receives the planted frame with high probability.
+//  5. Re-hammer — the attacker hammers the same aggressor rows again,
+//     flipping the same cell, now under the victim's table.
+//  6. Analyse — persistent fault analysis on the victim's faulty
+//     ciphertexts recovers the key offline (reference [12]).
+//
+// The package also implements the two baselines the paper positions itself
+// against (random spraying without steering, and pagemap-privileged
+// targeting) for experiment E8.
+package core
+
+import (
+	"explframe/internal/dram"
+	"explframe/internal/kernel"
+	"explframe/internal/rowhammer"
+	"explframe/internal/trace"
+)
+
+// Config parameterises one attack run.
+type Config struct {
+	// Seed drives every stochastic component (weak cells, keys, noise).
+	Seed uint64
+
+	// Machine is the simulated hardware/kernel configuration.  The zero
+	// value takes DefaultConfig's machine.
+	Machine kernel.Config
+
+	// Hammer configures the Rowhammer engine.
+	Hammer rowhammer.Config
+
+	// AttackerMemory is the size of the attacker's templating buffer.  The
+	// paper uses ~1 GiB on an 8+ GiB host; the default scales that ratio to
+	// the simulated module.
+	AttackerMemory uint64
+
+	// AttackerCPU and VictimCPU pin the two processes.  The attack requires
+	// them equal; experiments set them apart to measure the failure mode.
+	AttackerCPU int
+	VictimCPU   int
+
+	// VictimKind selects the victim cipher, VictimKey its key.
+	VictimKind trace.CipherKind
+	VictimKey  []byte
+
+	// VictimRequestPages is the size of the victim's single mmap request.
+	// Small requests are served from the page frame cache (Section V:
+	// "if the request for memory is small (a few pages)").
+	VictimRequestPages int
+
+	// VictimTableOffset is the byte offset of the S-box within the victim's
+	// first page.
+	VictimTableOffset int
+
+	// NoiseProcs background processes run on the victim CPU and perform
+	// NoiseOps allocation events between plant and steer.
+	NoiseProcs int
+	NoiseOps   int
+
+	// AttackerSleeps makes the attacker go idle after planting, modelling
+	// the mistake Section V warns about.
+	AttackerSleeps bool
+
+	// Ciphertexts bounds the number of faulty ciphertexts collected for
+	// fault analysis.
+	Ciphertexts int
+
+	// CollectOnMiss forces ciphertext collection even when the fault
+	// never reached the victim table (the attacker cannot observe that in
+	// reality; experiments skip the pointless collection by default and
+	// account the failure identically).
+	CollectOnMiss bool
+}
+
+// DefaultConfig returns a configuration sized for the 256 MiB simulated
+// module: attack parameters keep the same proportions as the paper's
+// testbed while staying fast enough for parameter sweeps.
+func DefaultConfig() Config {
+	mc := kernel.DefaultConfig()
+	mc.FaultModel = dram.FaultModel{
+		WeakCellDensity: 1e-5, // vulnerable module, as the attack assumes
+		BaseThreshold:   5000, // scaled-down activation threshold
+		ThresholdSpread: 1.0,
+		NeighbourWeight: 0.25,
+		RefreshInterval: 1 << 21,
+		FlipReliability: 0.98,
+	}
+	return Config{
+		Seed:    1,
+		Machine: mc,
+		Hammer: rowhammer.Config{
+			Mode:            rowhammer.DoubleSided,
+			PairHammerCount: 11000, // > 2x max threshold: catches most cells
+		},
+		AttackerMemory:     32 << 20,
+		AttackerCPU:        0,
+		VictimCPU:          0,
+		VictimKind:         trace.AES128,
+		VictimKey:          []byte("explframe-victim"),
+		VictimRequestPages: 4,
+		VictimTableOffset:  0,
+		NoiseProcs:         0,
+		NoiseOps:           0,
+		Ciphertexts:        12000,
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The whole attack is a pure function of its configuration: two runs with
+// the same seed must produce identical reports, down to the frame numbers.
+// This is what makes every number in EXPERIMENTS.md reproducible.
+func TestAttackDeterminism(t *testing.T) {
+	run := func() *Report {
+		cfg := fastConfig(1)
+		atk, err := NewAttack(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := atk.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Phase != b.Phase || a.SteeringHit != b.SteeringHit || a.FaultInjected != b.FaultInjected {
+		t.Fatalf("phase outcomes diverged: %+v vs %+v", a, b)
+	}
+	if a.PlantedPFN != b.PlantedPFN || a.VictimTablePFN != b.VictimTablePFN {
+		t.Fatalf("frame placement diverged: %d/%d vs %d/%d",
+			a.PlantedPFN, a.VictimTablePFN, b.PlantedPFN, b.VictimTablePFN)
+	}
+	if a.Site.VA != b.Site.VA || a.Site.Bit != b.Site.Bit || a.Site.From != b.Site.From ||
+		a.Site.Agg.VictimRow != b.Site.Agg.VictimRow || a.Site.Agg.Bank != b.Site.Agg.Bank {
+		t.Fatalf("templated site diverged: %+v vs %+v", a.Site, b.Site)
+	}
+	if a.CiphertextsUsed != b.CiphertextsUsed || !bytes.Equal(a.RecoveredKey, b.RecoveredKey) {
+		t.Fatalf("analysis diverged: %d/%x vs %d/%x",
+			a.CiphertextsUsed, a.RecoveredKey, b.CiphertextsUsed, b.RecoveredKey)
+	}
+}
+
+// Different seeds must explore different weak-cell layouts: the planted
+// frame should not be constant across seeds (a constant would indicate the
+// seed is ignored somewhere).
+func TestAttackSeedSensitivity(t *testing.T) {
+	pfns := map[uint64]bool{}
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := fastConfig(seed)
+		atk, err := NewAttack(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := atk.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.SiteFound {
+			pfns[uint64(rep.PlantedPFN)] = true
+		}
+	}
+	if len(pfns) < 2 {
+		t.Fatalf("planted frames identical across seeds: %v", pfns)
+	}
+}

@@ -1,0 +1,428 @@
+package dram
+
+import (
+	"fmt"
+
+	"explframe/internal/stats"
+)
+
+// FaultModel parameterises the disturbance (Rowhammer) behaviour of a Device.
+// The defaults are calibrated so that flip statistics follow the shapes
+// reported for DDR3 by Kim et al. (ISCA 2014): nothing flips below an
+// activation threshold inside one refresh window, then the flip count grows
+// quickly with the hammer count; weak cells are rare and individually highly
+// reproducible.
+type FaultModel struct {
+	// WeakCellDensity is the probability that any given bit is a weak cell.
+	// Kim et al. observe between ~1e-7 and ~1e-4 depending on the module;
+	// the default favours the vulnerable end so experiments finish quickly.
+	WeakCellDensity float64
+
+	// BaseThreshold is the minimum number of adjacent-row activations within
+	// one refresh window needed to flip the weakest cell.  Real DDR3 parts
+	// show first flips around 139K activations (pre-TRR); the simulator
+	// scales this down so a "hammer" is cheap while preserving ordering.
+	BaseThreshold int
+
+	// ThresholdSpread is the multiplicative range of per-cell thresholds:
+	// cell thresholds are distributed in [BaseThreshold, BaseThreshold*(1+Spread)].
+	ThresholdSpread float64
+
+	// NeighbourWeight is the fraction of disturbance contributed to rows at
+	// distance two (rows at distance one receive weight 1.0).  Double-sided
+	// hammering works because both neighbours at distance one contribute.
+	NeighbourWeight float64
+
+	// RefreshInterval is the number of row activations (per device,
+	// modelling elapsed time) after which a distributed refresh sweep
+	// completes and all disturbance accumulators reset.
+	RefreshInterval uint64
+
+	// FlipReliability is the probability that crossing the threshold
+	// actually flips the cell in a given window; values below 1 model cells
+	// that flip only on some hammer attempts.
+	FlipReliability float64
+
+	// TRR configures the Target Row Refresh mitigation (disabled by
+	// default, matching the paper's pre-TRR DDR3 setting).
+	TRR TRRConfig
+
+	// ECC selects the error-correction model (none by default).
+	ECC ECCMode
+}
+
+// DefaultFaultModel returns the calibrated fault model described above.
+func DefaultFaultModel() FaultModel {
+	return FaultModel{
+		WeakCellDensity: 2e-6,
+		BaseThreshold:   20000,
+		ThresholdSpread: 1.5,
+		NeighbourWeight: 0.25,
+		RefreshInterval: 2_000_000,
+		FlipReliability: 0.98,
+	}
+}
+
+// WeakCell records one disturbance-vulnerable bit.
+type WeakCell struct {
+	Bank      int // dense bank-group index
+	Row       int
+	ByteInRow int
+	Bit       uint8 // bit index within the byte, 0..7
+	Threshold int   // activations within a refresh window needed to flip
+	FlipTo    uint8 // 0 => true cell (1->0), 1 => anti cell (0->1)
+	flipped   bool  // discharged in the current arm cycle
+	held      bool  // reliability roll failed for this window
+	corrupted bool  // the flip changed stored data (observable), for ECC
+}
+
+// Flip describes one observed bit flip.
+type Flip struct {
+	Phys uint64 // physical byte address
+	Bit  uint8  // bit index within the byte
+	From uint8  // original bit value
+}
+
+// Device is a simulated DRAM module: a flat byte store plus per-row
+// disturbance state.  It is not safe for concurrent use; the kernel layer
+// serialises access, matching a single memory controller.
+type Device struct {
+	geom   Geometry
+	mapper *Mapper
+	model  FaultModel
+	data   []byte
+
+	// Per-(bankGroup, row) state, indexed bg*Rows+row.  Dense arrays keep
+	// the hammer loop allocation- and hash-free.
+	weakByRow [][]*WeakCell
+	disturb   []float64
+	dirty     []int // rows with non-zero disturbance, for cheap refresh
+	weakCount int
+
+	// openRow tracks the row buffer per bank group; an access to a
+	// different row precharges and activates, which is what disturbs
+	// neighbours.
+	openRow []int
+
+	rng *stats.RNG
+
+	// trr holds the per-bank-group Target Row Refresh samplers when the
+	// mitigation is enabled.
+	trr []trrState
+
+	sinceRefresh   uint64
+	stats          DeviceStats
+	flipLog        []Flip
+	flipLogEnabled bool
+}
+
+// DeviceStats aggregates activity counters for reporting.
+type DeviceStats struct {
+	Reads            uint64
+	Writes           uint64
+	Activations      uint64
+	RowHits          uint64
+	Refreshes        uint64
+	BitFlips         uint64
+	TRRRefreshes     uint64
+	ECCCorrected     uint64
+	ECCUncorrectable uint64
+}
+
+// NewDevice builds a device with the given geometry and fault model, placing
+// weak cells deterministically from the seed.
+func NewDevice(g Geometry, model FaultModel, seed uint64) (*Device, error) {
+	m, err := NewMapper(g)
+	if err != nil {
+		return nil, err
+	}
+	if model.RefreshInterval == 0 {
+		return nil, fmt.Errorf("dram: refresh interval must be positive")
+	}
+	nRows := g.NumBankGroups() * g.Rows
+	d := &Device{
+		geom:      g,
+		mapper:    m,
+		model:     model,
+		data:      make([]byte, g.TotalBytes()),
+		weakByRow: make([][]*WeakCell, nRows),
+		disturb:   make([]float64, nRows),
+		openRow:   make([]int, g.NumBankGroups()),
+		rng:       stats.NewRNG(seed),
+	}
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+	d.placeWeakCells()
+	d.initTRR()
+	return d, nil
+}
+
+// rowIndex returns the dense index of (bankGroup, row).
+func (d *Device) rowIndex(bg, row int) int { return bg*d.geom.Rows + row }
+
+// placeWeakCells draws the weak-cell population.  The expected number of weak
+// cells is density * totalBits; placement is uniform over (bank, row, byte,
+// bit) and thresholds uniform over the configured spread.
+func (d *Device) placeWeakCells() {
+	totalBits := float64(d.geom.TotalBytes()) * 8
+	expected := totalBits * d.model.WeakCellDensity
+	// Deterministic rounding of the expectation: the fractional part
+	// becomes one extra cell with matching probability.
+	n := int(expected)
+	if d.rng.Float64() < expected-float64(n) {
+		n++
+	}
+	banks := d.geom.NumBankGroups()
+	for i := 0; i < n; i++ {
+		wc := &WeakCell{
+			Bank:      d.rng.Intn(banks),
+			Row:       d.rng.Intn(d.geom.Rows),
+			ByteInRow: d.rng.Intn(d.geom.RowBytes),
+			Bit:       uint8(d.rng.Intn(8)),
+			FlipTo:    uint8(d.rng.Intn(2)),
+		}
+		spread := 1 + d.rng.Float64()*d.model.ThresholdSpread
+		wc.Threshold = int(float64(d.model.BaseThreshold) * spread)
+		idx := d.rowIndex(wc.Bank, wc.Row)
+		d.weakByRow[idx] = append(d.weakByRow[idx], wc)
+		d.weakCount++
+	}
+}
+
+// PlantWeakCell inserts a specific weak cell; test and characterisation
+// hook for deterministic scenarios.
+func (d *Device) PlantWeakCell(wc WeakCell) {
+	c := wc
+	idx := d.rowIndex(c.Bank, c.Row)
+	d.weakByRow[idx] = append(d.weakByRow[idx], &c)
+	d.weakCount++
+}
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() Geometry { return d.geom }
+
+// Mapper returns the address mapper for this device.
+func (d *Device) Mapper() *Mapper { return d.mapper }
+
+// Model returns the fault model in use.
+func (d *Device) Model() FaultModel { return d.model }
+
+// Stats returns a copy of the activity counters.
+func (d *Device) Stats() DeviceStats { return d.stats }
+
+// WeakCellCount returns the number of weak cells placed in the device.
+func (d *Device) WeakCellCount() int { return d.weakCount }
+
+// EnableFlipLog turns on recording of every flip the device produces.
+func (d *Device) EnableFlipLog() { d.flipLogEnabled = true }
+
+// DrainFlipLog returns and clears the accumulated flip log.
+func (d *Device) DrainFlipLog() []Flip {
+	log := d.flipLog
+	d.flipLog = nil
+	return log
+}
+
+// Size returns the capacity in bytes.
+func (d *Device) Size() uint64 { return uint64(len(d.data)) }
+
+// activate opens the row containing a, charging disturbance to neighbours if
+// the access is a row conflict (the hammering primitive).
+func (d *Device) activate(a Addr) {
+	bg := d.mapper.BankGroup(a)
+	if d.openRow[bg] == a.Row {
+		d.stats.RowHits++
+		return
+	}
+	d.openRow[bg] = a.Row
+	d.stats.Activations++
+	d.sinceRefresh++
+
+	if d.trr != nil {
+		d.trrObserve(bg, a.Row)
+	}
+
+	// Disturb neighbours at distance 1 (weight 1.0) and 2 (NeighbourWeight).
+	d.addDisturb(bg, a.Row-1, 1.0)
+	d.addDisturb(bg, a.Row+1, 1.0)
+	if d.model.NeighbourWeight > 0 {
+		d.addDisturb(bg, a.Row-2, d.model.NeighbourWeight)
+		d.addDisturb(bg, a.Row+2, d.model.NeighbourWeight)
+	}
+
+	if d.sinceRefresh >= d.model.RefreshInterval {
+		d.Refresh()
+	}
+}
+
+func (d *Device) addDisturb(bg, row int, w float64) {
+	if row < 0 || row >= d.geom.Rows {
+		return
+	}
+	idx := d.rowIndex(bg, row)
+	cells := d.weakByRow[idx]
+	if len(cells) == 0 {
+		// Rows with no weak cells cannot flip; skip accumulator upkeep for
+		// them to keep hammering loops cheap.
+		return
+	}
+	if d.disturb[idx] == 0 {
+		d.dirty = append(d.dirty, idx)
+	}
+	d.disturb[idx] += w
+	acc := d.disturb[idx]
+	for _, wc := range cells {
+		if wc.flipped || wc.held {
+			continue
+		}
+		if acc >= float64(wc.Threshold) {
+			if d.model.FlipReliability < 1 && !d.rng.Bool(d.model.FlipReliability) {
+				// The cell held this window; it gets a fresh chance after
+				// the next refresh.
+				wc.held = true
+				continue
+			}
+			d.flipCell(bg, row, wc)
+		}
+	}
+}
+
+// flipCell applies a disturbance flip to the backing store.
+func (d *Device) flipCell(bg, row int, wc *WeakCell) {
+	a := d.addrOfCell(bg, row, wc.ByteInRow)
+	phys := d.mapper.ToPhys(a)
+	cur := (d.data[phys] >> wc.Bit) & 1
+	wc.flipped = true
+	if cur == wc.FlipTo {
+		// The cell already holds its failure polarity; nothing observable
+		// flips, but the cell is now discharged until rewritten.
+		return
+	}
+	d.data[phys] ^= 1 << wc.Bit
+	wc.corrupted = true
+	d.stats.BitFlips++
+	if d.flipLogEnabled {
+		d.flipLog = append(d.flipLog, Flip{Phys: phys, Bit: wc.Bit, From: cur})
+	}
+}
+
+// addrOfCell reconstructs the full Addr of a weak cell's byte.  Bank group
+// indices are dense products of (channel, dimm, rank, bank).
+func (d *Device) addrOfCell(bg, row, col int) Addr {
+	bank := bg % d.geom.Banks
+	bg /= d.geom.Banks
+	rank := bg % d.geom.Ranks
+	bg /= d.geom.Ranks
+	dimm := bg % d.geom.DIMMs
+	bg /= d.geom.DIMMs
+	return Addr{Channel: bg, DIMM: dimm, Rank: rank, Bank: bank, Row: row, Col: col}
+}
+
+// Refresh completes a refresh sweep: disturbance accumulators reset and
+// cells that held get a fresh window.  Flipped cells stay flipped — refresh
+// restores charge to whatever value the cell currently holds, it does not
+// correct errors.
+func (d *Device) Refresh() {
+	for _, idx := range d.dirty {
+		d.disturb[idx] = 0
+		for _, wc := range d.weakByRow[idx] {
+			wc.held = false
+		}
+	}
+	d.dirty = d.dirty[:0]
+	d.sinceRefresh = 0
+	d.stats.Refreshes++
+	// The TRR sampler also resets on the refresh sweep, as REF commands do
+	// on real devices.
+	for i := range d.trr {
+		d.trr[i].entries = d.trr[i].entries[:0]
+	}
+}
+
+// Read returns the byte at physical address pa, activating its row.  With
+// ECC enabled, single observable flips in the containing 64-bit word are
+// corrected on the fly.
+func (d *Device) Read(pa uint64) byte {
+	a := d.mapper.ToDRAM(pa)
+	d.activate(a)
+	d.stats.Reads++
+	v := d.data[pa]
+	if d.model.ECC == ECCSecDed {
+		v = d.eccCorrect(pa, v)
+	}
+	return v
+}
+
+// Write stores a byte at physical address pa, activating its row.  Writing a
+// cell re-charges it: any flip recorded for that cell is cleared, making the
+// cell vulnerable again in a later window (this is what makes templating
+// non-destructive and flips reproducible).
+func (d *Device) Write(pa uint64, v byte) {
+	a := d.mapper.ToDRAM(pa)
+	d.activate(a)
+	d.stats.Writes++
+	d.data[pa] = v
+	d.rearm(a)
+}
+
+// rearm clears the discharged state of weak cells in the written byte.
+func (d *Device) rearm(a Addr) {
+	idx := d.rowIndex(d.mapper.BankGroup(a), a.Row)
+	for _, wc := range d.weakByRow[idx] {
+		if wc.ByteInRow == a.Col {
+			wc.flipped = false
+			wc.corrupted = false
+		}
+	}
+}
+
+// ReadNoActivate returns the byte at pa without touching the row buffer or
+// disturbance model.  The kernel uses it for bulk inspection (e.g. page
+// zeroing) where modelling every access would swamp the statistics.  ECC
+// correction still applies: the code sits on the datapath, not the timing
+// model.
+func (d *Device) ReadNoActivate(pa uint64) byte {
+	v := d.data[pa]
+	if d.model.ECC == ECCSecDed {
+		v = d.eccCorrect(pa, v)
+	}
+	return v
+}
+
+// WriteNoActivate stores a byte bypassing the activation model, clearing any
+// flip record for the cell (same semantics as Write).
+func (d *Device) WriteNoActivate(pa uint64, v byte) {
+	d.data[pa] = v
+	a := d.mapper.ToDRAM(pa)
+	d.rearm(a)
+}
+
+// ActivateRow explicitly opens the row containing pa; this is the hammer
+// primitive (a read with the result discarded).
+func (d *Device) ActivateRow(pa uint64) {
+	d.activate(d.mapper.ToDRAM(pa))
+}
+
+// WeakCellsInRange reports the weak cells whose physical byte address falls
+// in [lo, hi).  Test and characterisation helper; a real attacker cannot
+// call this, the Rowhammer templating step discovers the same information.
+func (d *Device) WeakCellsInRange(lo, hi uint64) []WeakCell {
+	var out []WeakCell
+	for idx, cells := range d.weakByRow {
+		bg := idx / d.geom.Rows
+		row := idx % d.geom.Rows
+		for _, wc := range cells {
+			pa := d.mapper.ToPhys(d.addrOfCell(bg, row, wc.ByteInRow))
+			if pa >= lo && pa < hi {
+				out = append(out, *wc)
+			}
+		}
+	}
+	return out
+}
+
+// PhysOfWeakCell returns the physical byte address of a weak cell.
+func (d *Device) PhysOfWeakCell(wc WeakCell) uint64 {
+	return d.mapper.ToPhys(d.addrOfCell(wc.Bank, wc.Row, wc.ByteInRow))
+}

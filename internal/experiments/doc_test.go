@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// Every experiment table must carry the metadata DESIGN.md promises: an ID,
+// a claim tying it to the paper, headers, rows, and at least one note with
+// the trial parameters.  E1/E2/E12 run fast enough to verify live; the
+// heavyweight experiments are exercised by their Shape tests and benchtab.
+func TestTableMetadataComplete(t *testing.T) {
+	fast := []Runner{}
+	for _, r := range All() {
+		switch r.ID {
+		case "E1", "E2", "E12":
+			fast = append(fast, r)
+		}
+	}
+	if len(fast) != 3 {
+		t.Fatalf("fast experiment set incomplete: %d", len(fast))
+	}
+	for _, r := range fast {
+		tb, err := r.Run(1)
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		if tb.ID != r.ID {
+			t.Errorf("%s: table carries id %q", r.ID, tb.ID)
+		}
+		if tb.Title == "" || tb.Claim == "" {
+			t.Errorf("%s: missing title or claim", r.ID)
+		}
+		if len(tb.Headers) == 0 || len(tb.Rows) == 0 {
+			t.Errorf("%s: empty table", r.ID)
+		}
+		for ri, row := range tb.Rows {
+			if len(row) != len(tb.Headers) {
+				t.Errorf("%s row %d: %d cells for %d headers", r.ID, ri, len(row), len(tb.Headers))
+			}
+		}
+		if len(tb.Notes) == 0 {
+			t.Errorf("%s: no notes", r.ID)
+		}
+	}
+}

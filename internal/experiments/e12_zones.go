@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"explframe/internal/mm"
+)
+
+// E12Zones sweeps allocation pressure and reports how the zonelist fallback
+// distributes requests across zones as the preferred zone drains.
+func E12Zones(seed uint64) (*Table, error) {
+	cfg := mm.DefaultConfig()
+	cfg.TotalBytes = 64 << 20
+	cfg.MinWatermarkPages = 64
+	pm, err := mm.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E12",
+		Title:   "zonelist fallback under allocation pressure",
+		Claim:   "Sec. IV: \"the allocation function will try to get the page frames from other zones in order as maintained in zonelist\"",
+		Headers: []string{"allocated_pages", "dma32_free", "dma_free", "dma_fallbacks", "failed_watermark"},
+	}
+
+	step := 2048
+	total := 0
+	for {
+		served := 0
+		for i := 0; i < step; i++ {
+			if _, err := pm.AllocPages(0, 0); err != nil {
+				break
+			}
+			served++
+			total++
+		}
+		dma := pm.Stats(mm.ZoneDMA)
+		dma32 := pm.Stats(mm.ZoneDMA32)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(total),
+			fmt.Sprint(pm.FreePagesInZone(mm.ZoneDMA32)),
+			fmt.Sprint(pm.FreePagesInZone(mm.ZoneDMA)),
+			fmt.Sprint(dma.Fallbacks),
+			fmt.Sprint(dma.FailedAllo + dma32.FailedAllo),
+		})
+		if served < step {
+			break
+		}
+	}
+	if err := pm.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"order-0 pressure on a 64 MiB machine (DMA32 preferred); DMA serves only after DMA32 hits its watermark",
+		"both zones stop above their minimum watermark reserve",
+		fmt.Sprintf("seed %d unused: the sweep is deterministic", seed))
+	return t, nil
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"explframe/internal/dram"
+	"explframe/internal/kernel"
+	"explframe/internal/rowhammer"
+	"explframe/internal/vm"
+)
+
+// hammerMachine builds a machine with a dense weak-cell population and a
+// scaled-down activation threshold for hammer characterisation.
+func hammerMachine(seed uint64, density float64) (kernel.Config, error) {
+	cfg := kernel.DefaultConfig()
+	cfg.Geometry = dram.Geometry{Channels: 1, DIMMs: 1, Ranks: 1, Banks: 4, Rows: 1024, RowBytes: 8192}
+	cfg.FaultModel = dram.FaultModel{
+		WeakCellDensity: density,
+		BaseThreshold:   4000,
+		ThresholdSpread: 1.5,
+		NeighbourWeight: 0.25,
+		RefreshInterval: 1 << 21,
+		FlipReliability: 0.98,
+	}
+	cfg.Seed = seed
+	return cfg, nil
+}
+
+// E4HammerOnset measures templated flips as a function of the hammer budget
+// for single- and double-sided strategies (Kim et al.'s onset curves, the
+// basis of the paper's Section VI threat).
+func E4HammerOnset(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "bit flips vs hammer count, single- vs double-sided",
+		Claim:   "Sec. I/VI: repeated row activation induces flips in adjacent rows; nothing flips below the onset threshold",
+		Headers: []string{"pairs_per_row", "flips_double", "flips_single", "rows_scanned"},
+	}
+	const region = 6 << 20
+	budgets := []int{1000, 2000, 3000, 4500, 6000, 9000, 13000}
+	for _, budget := range budgets {
+		var dFlips, sFlips int
+		var rows uint64
+		for i, mode := range []rowhammer.Mode{rowhammer.DoubleSided, rowhammer.SingleSided} {
+			mc, err := hammerMachine(seed, 8e-5)
+			if err != nil {
+				return nil, err
+			}
+			m, err := kernel.NewMachine(mc)
+			if err != nil {
+				return nil, err
+			}
+			proc, err := m.Spawn("attacker", 0)
+			if err != nil {
+				return nil, err
+			}
+			base, err := proc.Mmap(region)
+			if err != nil {
+				return nil, err
+			}
+			if err := proc.Touch(base, region); err != nil {
+				return nil, err
+			}
+			eng := rowhammer.New(rowhammer.Config{Mode: mode, PairHammerCount: budget}, m, proc)
+			flips, err := eng.Template(base, region)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				dFlips = len(flips)
+				rows = eng.Stats().RowsScanned
+			} else {
+				sFlips = len(flips)
+			}
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(budget), fmt.Sprint(dFlips), fmt.Sprint(sFlips), fmt.Sprint(rows)})
+	}
+	t.Notes = append(t.Notes,
+		"6 MiB region, weak-cell density 8e-5, base threshold 4000 activations/window",
+		"no flips below the onset; double-sided dominates single-sided at equal budgets (2x disturbance per pair)")
+	return t, nil
+}
+
+// E5Reproducibility re-hammers templated flip sites and reports how often
+// the same bit flips again (Section VI: "high probability of getting bit
+// flips in the same location").
+func E5Reproducibility(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:      "E5",
+		Title:   "per-site flip reproducibility over repeated hammer runs",
+		Claim:   "Sec. VI: \"there is a high probability of getting bit flips in the same location when conducting Rowhammer on the same virtual address space\"",
+		Headers: []string{"site", "page_offset", "bit", "polarity", "reproduced/runs"},
+	}
+	mc, err := hammerMachine(seed, 8e-5)
+	if err != nil {
+		return nil, err
+	}
+	m, err := kernel.NewMachine(mc)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := m.Spawn("attacker", 0)
+	if err != nil {
+		return nil, err
+	}
+	const region = 4 << 20
+	base, err := proc.Mmap(region)
+	if err != nil {
+		return nil, err
+	}
+	if err := proc.Touch(base, region); err != nil {
+		return nil, err
+	}
+	eng := rowhammer.New(rowhammer.Config{Mode: rowhammer.DoubleSided, PairHammerCount: 10000, MaxFlips: 6}, m, proc)
+	flips, err := eng.Template(base, region)
+	if err != nil {
+		return nil, err
+	}
+	if len(flips) == 0 {
+		return nil, fmt.Errorf("E5: no flips templated")
+	}
+	const runs = 10
+	total, hit := 0, 0
+	for si, f := range flips {
+		if si >= 6 {
+			break
+		}
+		pattern := rowhammer.PatternOnes
+		if f.From == 0 {
+			pattern = rowhammer.PatternZeros
+		}
+		ok := 0
+		for r := 0; r < runs; r++ {
+			m.DRAM().Refresh() // separate windows, as real time spacing would
+			re, err := eng.Reproduce(f, pattern)
+			if err != nil {
+				return nil, err
+			}
+			if re {
+				ok++
+			}
+		}
+		polarity := "1->0"
+		if f.From == 0 {
+			polarity = "0->1"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(si), fmt.Sprint(f.ByteInPage), fmt.Sprint(f.Bit), polarity,
+			fmt.Sprintf("%d/%d", ok, runs),
+		})
+		total += runs
+		hit += ok
+	}
+	t.Rows = append(t.Rows, []string{"ALL", "-", "-", "-", fmt.Sprintf("%d/%d (%.2f)", hit, total, float64(hit)/float64(total))})
+	t.Notes = append(t.Notes,
+		"each site re-armed (pattern rewrite) and re-hammered with the original aggressors",
+		"reproducibility tracks the model's FlipReliability=0.98 per window")
+	_ = vm.PageSize
+	return t, nil
+}

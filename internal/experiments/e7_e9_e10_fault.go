@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"explframe/internal/cipher/aes"
+	"explframe/internal/cipher/present"
+	"explframe/internal/fault/dfa"
+	"explframe/internal/fault/pfa"
+	"explframe/internal/stats"
+)
+
+// E7PFAAES reproduces the persistent-fault-analysis data-complexity curve
+// for AES-128: residual key entropy and recovery rate vs ciphertext count.
+func E7PFAAES(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:      "E7",
+		Title:   "PFA on AES-128: key entropy vs faulty ciphertexts",
+		Claim:   "Conclusion/[12]: persistent faults \"exploited offline to eventually extract key information\"; TCHES 2018 reports ~2000 ciphertexts for AES",
+		Headers: []string{"ciphertexts", "avg_entropy_bits", "recovered_frac", "positions_determined"},
+	}
+	const trials = 12
+	checkpoints := []int{250, 500, 1000, 1500, 2000, 2500, 3000, 4000, 6000}
+
+	entropy := make([]float64, len(checkpoints))
+	recovered := make([]int, len(checkpoints))
+	positions := make([]float64, len(checkpoints))
+	var toRecover stats.Summary
+
+	for tr := 0; tr < trials; tr++ {
+		rng := stats.NewRNG(seed + uint64(tr)*911)
+		key := make([]byte, 16)
+		rng.Bytes(key)
+		ks, err := aes.Expand(key)
+		if err != nil {
+			return nil, err
+		}
+		faulty := aes.SBox()
+		vStar := rng.Intn(256)
+		yStar := faulty[vStar]
+		faulty[vStar] ^= 1 << uint(rng.Intn(8))
+
+		col := pfa.NewAESCollector()
+		pt := make([]byte, 16)
+		ct := make([]byte, 16)
+		next := 0
+		recoveredAt := -1
+		for n := 1; n <= checkpoints[len(checkpoints)-1]; n++ {
+			rng.Bytes(pt)
+			aes.EncryptBlock(ks, &faulty, ct, pt)
+			if err := col.Observe(ct); err != nil {
+				return nil, err
+			}
+			if recoveredAt < 0 {
+				if _, err := col.RecoverLastRoundKeyKnownFault(yStar); err == nil {
+					recoveredAt = n
+					toRecover.Observe(float64(n))
+				}
+			}
+			if next < len(checkpoints) && n == checkpoints[next] {
+				entropy[next] += col.ResidualEntropy()
+				det := 0
+				for i := 0; i < 16; i++ {
+					if len(col.Missing(i)) == 1 {
+						det++
+					}
+				}
+				positions[next] += float64(det)
+				if recoveredAt > 0 && recoveredAt <= n {
+					recovered[next]++
+				}
+				next++
+			}
+		}
+	}
+	for i, n := range checkpoints {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n),
+			f2(entropy[i] / trials),
+			f2(float64(recovered[i]) / trials),
+			f2(positions[i] / trials),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d trials, random keys, random single-bit S-box faults, known-fault recovery", trials),
+		fmt.Sprintf("ciphertexts to full recovery: mean=%.0f p50=%.0f max=%.0f", toRecover.Mean(), toRecover.Quantile(0.5), toRecover.Max()),
+		"shape matches TCHES 2018: coupon-collector convergence, full key around 2-3k ciphertexts")
+	return t, nil
+}
+
+// E9DFAvsPFA contrasts the classical transient-fault attack with the
+// persistent-fault route ExplFrame enables.
+func E9DFAvsPFA(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "DFA (transient, Piret-Quisquater) vs PFA (persistent)",
+		Claim:   "context for [12]: DFA needs few pairs but a precisely placed transient fault; PFA needs one persistent flip and only ciphertexts",
+		Headers: []string{"attack", "fault_model", "data", "unique_key_frac", "requirements"},
+	}
+	const trials = 10
+	rngRoot := stats.NewRNG(seed)
+
+	// DFA: unique-key probability vs pairs per column.
+	for _, perColumn := range []int{1, 2} {
+		var unique stats.Proportion
+		for tr := 0; tr < trials; tr++ {
+			rng := rngRoot.Split()
+			key := make([]byte, 16)
+			rng.Bytes(key)
+			ks, err := aes.Expand(key)
+			if err != nil {
+				return nil, err
+			}
+			sb := aes.SBox()
+			var pairs []dfa.Pair
+			pt := make([]byte, 16)
+			for fb := 0; fb < 4; fb++ {
+				for n := 0; n < perColumn; n++ {
+					rng.Bytes(pt)
+					pairs = append(pairs, dfa.CollectPair(ks, &sb, pt, fb, byte(rng.Intn(255)+1)))
+				}
+			}
+			res, err := dfa.Recover(pairs)
+			ok := err == nil && res.Unique && res.K10 == ks.RoundKey(10)
+			if err != nil && !errors.Is(err, dfa.ErrNeedMorePairs) {
+				return nil, err
+			}
+			unique.Observe(ok)
+		}
+		t.Rows = append(t.Rows, []string{
+			"DFA", "transient, round-9 byte", fmt.Sprintf("%d pairs", perColumn*4),
+			f2(unique.Rate()), "fault timing + location control",
+		})
+	}
+
+	// PFA: recovery probability vs ciphertext budget.
+	for _, budget := range []int{1000, 2500} {
+		var okP stats.Proportion
+		for tr := 0; tr < trials; tr++ {
+			rng := rngRoot.Split()
+			key := make([]byte, 16)
+			rng.Bytes(key)
+			ks, _ := aes.Expand(key)
+			faulty := aes.SBox()
+			v := rng.Intn(256)
+			yStar := faulty[v]
+			faulty[v] ^= 1 << uint(rng.Intn(8))
+			col := pfa.NewAESCollector()
+			pt := make([]byte, 16)
+			ct := make([]byte, 16)
+			for n := 0; n < budget; n++ {
+				rng.Bytes(pt)
+				aes.EncryptBlock(ks, &faulty, ct, pt)
+				col.Observe(ct)
+			}
+			_, err := col.RecoverLastRoundKeyKnownFault(yStar)
+			okP.Observe(err == nil)
+		}
+		t.Rows = append(t.Rows, []string{
+			"PFA", "persistent, one S-box bit", fmt.Sprintf("%d ciphertexts", budget),
+			f2(okP.Rate()), "one Rowhammer flip, ciphertext-only",
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d trials per row", trials),
+		"DFA's fault model is out of reach for Rowhammer (no timing control); PFA's is exactly what ExplFrame plants")
+	return t, nil
+}
+
+// E10PFAPresent is the PRESENT-80 counterpart of E7, showing the attack
+// generalises across block ciphers (the paper's title says "Block Ciphers").
+func E10PFAPresent(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Title:   "PFA on PRESENT-80: key entropy vs faulty ciphertexts",
+		Claim:   "title: fault analysis of block cipherS — the persistent-fault route carries over to PRESENT",
+		Headers: []string{"ciphertexts", "avg_entropy_bits", "recovered_frac"},
+	}
+	const trials = 12
+	checkpoints := []int{10, 25, 50, 75, 100, 150, 250, 400}
+
+	entropy := make([]float64, len(checkpoints))
+	recovered := make([]int, len(checkpoints))
+	var toRecover stats.Summary
+
+	for tr := 0; tr < trials; tr++ {
+		rng := stats.NewRNG(seed + uint64(tr)*601)
+		key := make([]byte, 10)
+		rng.Bytes(key)
+		ks, err := present.Expand(key)
+		if err != nil {
+			return nil, err
+		}
+		faulty := present.SBox()
+		v := rng.Intn(16)
+		yStar := faulty[v]
+		faulty[v] ^= byte(1 << uint(rng.Intn(4)))
+
+		col := pfa.NewPresentCollector()
+		next := 0
+		recoveredAt := -1
+		for n := 1; n <= checkpoints[len(checkpoints)-1]; n++ {
+			col.Observe(present.Encrypt(ks, &faulty, rng.Uint64()))
+			if recoveredAt < 0 {
+				if _, err := col.RecoverLastRoundKeyKnownFault(yStar); err == nil {
+					recoveredAt = n
+					toRecover.Observe(float64(n))
+				}
+			}
+			if next < len(checkpoints) && n == checkpoints[next] {
+				entropy[next] += col.ResidualEntropy()
+				if recoveredAt > 0 && recoveredAt <= n {
+					recovered[next]++
+				}
+				next++
+			}
+		}
+	}
+	for i, n := range checkpoints {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), f2(entropy[i] / trials), f2(float64(recovered[i]) / trials),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d trials; K32 recovery via missing nibbles of invPLayer(c); master key needs +2^16 schedule inversions", trials),
+		"4-bit S-box converges ~40x faster than AES's 8-bit table (coupon collector over 16 vs 256 values)")
+	return t, nil
+}

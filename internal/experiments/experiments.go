@@ -1,0 +1,96 @@
+// Package experiments contains one driver per experiment in DESIGN.md's
+// reconstructed evaluation (E1..E12).  Each driver returns a Table that
+// cmd/benchtab renders and bench_test.go wraps in testing.B benchmarks, so
+// the paper's tables and figures regenerate from a single code path.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one regenerated experiment table/figure series.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E3").
+	ID string
+	// Title is a short experiment name.
+	Title string
+	// Claim quotes or paraphrases the paper sentence the experiment tests.
+	Claim string
+	// Headers and Rows hold the tabular series.
+	Headers []string
+	Rows    [][]string
+	// Notes carries caveats (trial counts, seeds, model parameters).
+	Notes []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(&sb, "   claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "   note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Runner is one experiment entry point.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(seed uint64) (*Table, error)
+}
+
+// All returns every experiment in order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "buddy allocator behaviour", E1Buddy},
+		{"E2", "page frame cache self-reuse", E2SelfReuse},
+		{"E3", "attacker-to-victim steering", E3Steering},
+		{"E4", "rowhammer flip onset", E4HammerOnset},
+		{"E5", "flip reproducibility", E5Reproducibility},
+		{"E6", "end-to-end attack", E6EndToEnd},
+		{"E7", "PFA on AES-128", E7PFAAES},
+		{"E8", "baseline comparison", E8Baselines},
+		{"E9", "DFA vs PFA", E9DFAvsPFA},
+		{"E10", "PFA on PRESENT-80", E10PFAPresent},
+		{"E11", "active vs sleeping attacker", E11ActiveWait},
+		{"E12", "zone fallback under pressure", E12Zones},
+		{"E13", "defences: TRR, many-sided, ECC", E13Defences},
+		{"E14", "ablation: pcp LIFO vs FIFO", E14PCPPolicy},
+	}
+}
+
+// f2 formats a float with two decimals, f3 with three.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseF parses a float cell.
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not a float: %v", s, err)
+	}
+	return v
+}
+
+func TestAllRegistered(t *testing.T) {
+	runners := All()
+	if len(runners) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(runners))
+	}
+	seen := map[string]bool{}
+	for _, r := range runners {
+		if seen[r.ID] {
+			t.Fatalf("duplicate experiment id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil || r.Name == "" {
+			t.Fatalf("incomplete runner %+v", r)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID: "EX", Title: "demo", Claim: "c",
+		Headers: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"n"},
+	}
+	out := tb.Render()
+	for _, want := range []string{"EX", "demo", "a", "bb", "333", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// E1: fragmentation must stay in [0,1]; splits and coalesces must be
+// monotone counters.
+func TestE1Shape(t *testing.T) {
+	tb, err := E1Buddy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	var prevSplits, prevCoal float64
+	for _, row := range tb.Rows {
+		frag := parseF(t, row[5])
+		if frag < 0 || frag > 1 {
+			t.Fatalf("fragmentation %f out of range", frag)
+		}
+		s, c := parseF(t, row[3]), parseF(t, row[4])
+		if s < prevSplits || c < prevCoal {
+			t.Fatal("split/coalesce counters decreased")
+		}
+		prevSplits, prevCoal = s, c
+	}
+}
+
+// E2: self-reuse must be ~1 for requests <= freed and non-increasing-ish
+// beyond the cache's reach.
+func TestE2Shape(t *testing.T) {
+	tb, err := E2SelfReuse(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := parseF(t, tb.Rows[0][1])
+	if first < 0.99 {
+		t.Fatalf("1-page reuse = %f, want ~1", first)
+	}
+	// The largest request must not beat the smallest.
+	last := parseF(t, tb.Rows[len(tb.Rows)-1][1])
+	if last > first {
+		t.Fatalf("reuse grew with request size: %f -> %f", first, last)
+	}
+}
+
+// E3: quiet same-CPU steering must dominate cross-CPU (which must be ~0).
+func TestE3Shape(t *testing.T) {
+	tb, err := E3Steering(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[string]float64{}
+	for _, row := range tb.Rows {
+		key := row[0] + "/" + row[1] + "/" + row[2]
+		rates[key] = parseF(t, row[3])
+	}
+	if rates["4/0/same"] < 0.8 {
+		t.Fatalf("quiet same-CPU steering = %f, want > 0.8", rates["4/0/same"])
+	}
+	if rates["4/0/cross"] > 0.1 {
+		t.Fatalf("cross-CPU steering = %f, want ~0", rates["4/0/cross"])
+	}
+	if rates["4/400/same"] > rates["4/0/same"] {
+		t.Fatal("heavy noise did not degrade steering")
+	}
+}
+
+// E7: entropy decreases with ciphertexts; recovery reaches 1 at the end.
+func TestE7Shape(t *testing.T) {
+	tb, err := E7PFAAES(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1e9
+	for _, row := range tb.Rows {
+		e := parseF(t, row[1])
+		if e > prev+1e-9 {
+			t.Fatalf("entropy increased: %f -> %f", prev, e)
+		}
+		prev = e
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if parseF(t, last[1]) != 0 || parseF(t, last[2]) != 1 {
+		t.Fatalf("final checkpoint not fully recovered: %v", last)
+	}
+}
+
+// E10: PRESENT converges far faster than AES.
+func TestE10Shape(t *testing.T) {
+	tb, err := E10PFAPresent(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if parseF(t, last[1]) != 0 || parseF(t, last[2]) != 1 {
+		t.Fatalf("PRESENT not recovered by 400 ciphertexts: %v", last)
+	}
+}
+
+// E12: DMA fallbacks appear only after DMA32 drains; watermark reserve holds.
+func TestE12Shape(t *testing.T) {
+	tb, err := E12Zones(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFallback := false
+	for _, row := range tb.Rows {
+		dma32Free := parseF(t, row[1])
+		fallbacks := parseF(t, row[3])
+		if fallbacks > 0 {
+			sawFallback = true
+			if dma32Free > 200 {
+				t.Fatalf("DMA fallback while DMA32 still has %v free pages", dma32Free)
+			}
+		}
+	}
+	if !sawFallback {
+		t.Fatal("pressure sweep never reached the DMA fallback")
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if parseF(t, last[1]) < 1 || parseF(t, last[2]) < 1 {
+		t.Fatal("watermark reserve violated")
+	}
+}

@@ -1,0 +1,215 @@
+// Package dfa implements classical differential fault analysis on AES-128
+// in the Piret–Quisquater model: a transient single-byte fault injected at
+// the input of round 9 (between the MixColumns of rounds 8 and 9).
+//
+// It serves as the baseline the paper's persistent-fault route is compared
+// against (experiment E9): DFA needs only ~2 correct/faulty ciphertext pairs
+// but demands a precisely timed, precisely located transient fault — which
+// Rowhammer cannot deliver — whereas PFA needs thousands of ciphertexts but
+// only one persistent bit flip anywhere in the S-box table, which is exactly
+// what ExplFrame produces.
+package dfa
+
+import (
+	"errors"
+	"fmt"
+
+	"explframe/internal/cipher/aes"
+)
+
+// Pair is one correct/faulty ciphertext pair for the same plaintext.
+type Pair struct {
+	Correct [16]byte
+	Faulty  [16]byte
+}
+
+// mixCoeff[r][i] is the MixColumns coefficient multiplying a fault in row r
+// as it lands in row i of the column: column 'r' of the MixColumns matrix.
+var mixCoeff = [4][4]byte{
+	{0x02, 0x01, 0x01, 0x03},
+	{0x03, 0x02, 0x01, 0x01},
+	{0x01, 0x03, 0x02, 0x01},
+	{0x01, 0x01, 0x03, 0x02},
+}
+
+// gfMul is GF(2^8) multiplication modulo the AES polynomial.
+func gfMul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// invSbox is a package copy of the inverse S-box.
+var invSbox = aes.InvSBox()
+
+// columnPositions[c] lists the ciphertext byte indices whose final-round
+// inputs come from MixColumns column c of round 9: state indices 4c..4c+3
+// routed through the last ShiftRows.
+var columnPositions [4][4]int
+
+func init() {
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			columnPositions[c][r] = aes.InvShiftRowsIndex(4*c + r)
+		}
+	}
+}
+
+// Errors returned by the attack.
+var (
+	// ErrNeedMorePairs reports that the candidate sets are not yet unique.
+	ErrNeedMorePairs = errors.New("dfa: key bytes not yet unique, need more fault pairs")
+	// ErrNoCandidates reports pairs inconsistent with the fault model.
+	ErrNoCandidates = errors.New("dfa: no key candidates survive, pairs violate the fault model")
+)
+
+// quad is a candidate for the 4 last-round key bytes of one column.
+type quad [4]byte
+
+// columnCandidates computes the set of key quadruples for column c
+// consistent with one pair: there must exist a fault row r and a
+// post-SubBytes fault value eps such that every byte difference matches the
+// MixColumns pattern.
+func columnCandidates(p Pair, c int) map[quad]bool {
+	pos := columnPositions[c]
+	// A pair constrains column c only if it shows a difference there.
+	diff := false
+	for _, i := range pos {
+		if p.Correct[i] != p.Faulty[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		return nil // no information about this column
+	}
+	out := make(map[quad]bool)
+	for r := 0; r < 4; r++ {
+		for eps := 1; eps < 256; eps++ {
+			// Expected input difference at each row of the column.
+			var want [4]byte
+			for i := 0; i < 4; i++ {
+				want[i] = gfMul(byte(eps), mixCoeff[r][i])
+			}
+			// Per-byte key candidates solving
+			//   S^-1(c ^ k) ^ S^-1(c* ^ k) == want[row].
+			var perByte [4][]byte
+			ok := true
+			for row := 0; row < 4; row++ {
+				i := pos[row]
+				a, b := p.Correct[i], p.Faulty[i]
+				var ks []byte
+				for k := 0; k < 256; k++ {
+					if invSbox[a^byte(k)]^invSbox[b^byte(k)] == want[row] {
+						ks = append(ks, byte(k))
+					}
+				}
+				if len(ks) == 0 {
+					ok = false
+					break
+				}
+				perByte[row] = ks
+			}
+			if !ok {
+				continue
+			}
+			for _, k0 := range perByte[0] {
+				for _, k1 := range perByte[1] {
+					for _, k2 := range perByte[2] {
+						for _, k3 := range perByte[3] {
+							out[quad{k0, k1, k2, k3}] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Result reports the outcome of a recovery attempt.
+type Result struct {
+	// K10 is the recovered last round key (valid when Unique).
+	K10 [16]byte
+	// Master is the inverted AES-128 master key (valid when Unique).
+	Master [16]byte
+	// Unique reports whether every column converged to one candidate.
+	Unique bool
+	// Remaining[c] is the number of candidate quadruples left per column.
+	Remaining [4]int
+}
+
+// Recover runs the attack over the pairs, intersecting per-column candidate
+// sets.  Pairs whose fault landed in other columns contribute nothing to a
+// column, so mixed-position pair sets work.
+func Recover(pairs []Pair) (Result, error) {
+	var res Result
+	var sets [4]map[quad]bool
+	for _, p := range pairs {
+		for c := 0; c < 4; c++ {
+			cand := columnCandidates(p, c)
+			if cand == nil {
+				continue
+			}
+			if sets[c] == nil {
+				sets[c] = cand
+				continue
+			}
+			for q := range sets[c] {
+				if !cand[q] {
+					delete(sets[c], q)
+				}
+			}
+		}
+	}
+	unique := true
+	for c := 0; c < 4; c++ {
+		if sets[c] == nil {
+			res.Remaining[c] = 4 * 255 * 256 // untouched column: order of full space
+			unique = false
+			continue
+		}
+		res.Remaining[c] = len(sets[c])
+		if len(sets[c]) == 0 {
+			return res, fmt.Errorf("%w: column %d", ErrNoCandidates, c)
+		}
+		if len(sets[c]) > 1 {
+			unique = false
+		}
+	}
+	if !unique {
+		return res, ErrNeedMorePairs
+	}
+	for c := 0; c < 4; c++ {
+		for q := range sets[c] {
+			for r := 0; r < 4; r++ {
+				res.K10[columnPositions[c][r]] = q[r]
+			}
+		}
+	}
+	res.Unique = true
+	res.Master = aes.RecoverMasterFromLastRound(res.K10)
+	return res, nil
+}
+
+// CollectPair produces one correct/faulty ciphertext pair for a random
+// plaintext under the Piret–Quisquater fault model: a transient fault of
+// value delta on state byte faultByte at the entry of round 9.
+func CollectPair(ks *aes.Schedule, sb *[256]byte, pt []byte, faultByte int, delta byte) Pair {
+	var p Pair
+	var c, f [16]byte
+	aes.EncryptBlock(ks, sb, c[:], pt)
+	aes.EncryptBlockWithFault(ks, sb, f[:], pt, 9, faultByte, delta)
+	p.Correct, p.Faulty = c, f
+	return p
+}

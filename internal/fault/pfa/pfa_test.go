@@ -1,0 +1,280 @@
+package pfa
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"explframe/internal/cipher/aes"
+	"explframe/internal/cipher/present"
+	"explframe/internal/stats"
+)
+
+// faultyAESStream produces n ciphertexts of random plaintexts under a
+// cipher whose S-box entry vIdx has bit 'bit' flipped.
+func faultyAESStream(t *testing.T, key []byte, vIdx int, bit uint8, n int, rng *stats.RNG, c *AESCollector) (yStar byte) {
+	t.Helper()
+	ks, err := aes.Expand(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := aes.SBox()
+	yStar = faulty[vIdx]
+	faulty[vIdx] ^= 1 << bit
+	pt := make([]byte, 16)
+	ct := make([]byte, 16)
+	for i := 0; i < n; i++ {
+		rng.Bytes(pt)
+		aes.EncryptBlock(ks, &faulty, ct, pt)
+		if err := c.Observe(ct); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return yStar
+}
+
+func TestAESKnownFaultRecovery(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	rng := stats.NewRNG(7)
+	c := NewAESCollector()
+	yStar := faultyAESStream(t, key, 0x42, 3, 6000, rng, c)
+
+	k10, err := c.RecoverLastRoundKeyKnownFault(yStar)
+	if err != nil {
+		t.Fatalf("recovery failed after %d ciphertexts: %v", c.N(), err)
+	}
+	ks, _ := aes.Expand(key)
+	if k10 != ks.RoundKey(10) {
+		t.Fatalf("recovered %x want %x", k10, ks.RoundKey(10))
+	}
+
+	master, err := c.RecoverMasterKnownFault(yStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(master[:], key) {
+		t.Fatalf("master %x want %x", master, key)
+	}
+}
+
+func TestAESUnknownFaultRecovery(t *testing.T) {
+	key := []byte("fedcba9876543210")
+	rng := stats.NewRNG(11)
+	c := NewAESCollector()
+	faultyAESStream(t, key, 0x99, 6, 6000, rng, c)
+
+	// One clean known pair disambiguates the 256 candidates.
+	ks, _ := aes.Expand(key)
+	sb := aes.SBox()
+	pt := []byte("known plaintext!")
+	ct := make([]byte, 16)
+	aes.EncryptBlock(ks, &sb, ct, pt)
+
+	cands, err := c.CandidateKeysUnknownFault()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 256 {
+		t.Fatalf("%d candidates", len(cands))
+	}
+	master, err := c.RecoverMasterUnknownFault(pt, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(master[:], key) {
+		t.Fatalf("master %x want %x", master, key)
+	}
+}
+
+func TestAESUnderdeterminedWithFewCiphertexts(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	rng := stats.NewRNG(3)
+	c := NewAESCollector()
+	yStar := faultyAESStream(t, key, 0x10, 0, 40, rng, c)
+	if _, err := c.RecoverLastRoundKeyKnownFault(yStar); !errors.Is(err, ErrUnderdetermined) {
+		t.Fatalf("expected underdetermined, got %v", err)
+	}
+	if e := c.ResidualEntropy(); e <= 0 {
+		t.Fatalf("residual entropy should be positive at n=40, got %f", e)
+	}
+}
+
+// Residual entropy must be non-increasing in the number of ciphertexts and
+// reach zero by the time recovery succeeds.
+func TestAESEntropyMonotone(t *testing.T) {
+	key := []byte("entropy-test-key")
+	rng := stats.NewRNG(5)
+	ks, _ := aes.Expand(key)
+	faulty := aes.SBox()
+	yStar := faulty[0x77]
+	faulty[0x77] ^= 0x20
+
+	c := NewAESCollector()
+	pt := make([]byte, 16)
+	ct := make([]byte, 16)
+	prev := 128.0
+	for step := 0; step < 14; step++ {
+		for i := 0; i < 500; i++ {
+			rng.Bytes(pt)
+			aes.EncryptBlock(ks, &faulty, ct, pt)
+			c.Observe(ct)
+		}
+		e := c.ResidualEntropy()
+		if e > prev+1e-9 {
+			t.Fatalf("entropy increased: %f -> %f", prev, e)
+		}
+		prev = e
+	}
+	if prev != 0 {
+		t.Fatalf("entropy %f after %d ciphertexts", prev, c.N())
+	}
+	if _, err := c.RecoverLastRoundKeyKnownFault(yStar); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A fault-free stream must be detected as inconsistent (no missing value).
+func TestAESCleanStreamInconsistent(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	ks, _ := aes.Expand(key)
+	sb := aes.SBox()
+	rng := stats.NewRNG(9)
+	c := NewAESCollector()
+	pt := make([]byte, 16)
+	ct := make([]byte, 16)
+	for i := 0; i < 8000; i++ {
+		rng.Bytes(pt)
+		aes.EncryptBlock(ks, &sb, ct, pt)
+		c.Observe(ct)
+	}
+	if _, err := c.RecoverLastRoundKeyKnownFault(0x63); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("expected inconsistent, got %v", err)
+	}
+}
+
+func TestAESObserveRejectsBadLength(t *testing.T) {
+	c := NewAESCollector()
+	if err := c.Observe(make([]byte, 15)); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+}
+
+func TestAESMostFrequentConvergesToDoubledValue(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	ks, _ := aes.Expand(key)
+	faulty := aes.SBox()
+	yStar := faulty[0x42]
+	faulty[0x42] ^= 0x08
+	yPrime := faulty[0x42]
+
+	rng := stats.NewRNG(13)
+	c := NewAESCollector()
+	pt := make([]byte, 16)
+	ct := make([]byte, 16)
+	for i := 0; i < 20000; i++ {
+		rng.Bytes(pt)
+		aes.EncryptBlock(ks, &faulty, ct, pt)
+		c.Observe(ct)
+	}
+	k10 := ks.RoundKey(10)
+	hits := 0
+	for i := 0; i < 16; i++ {
+		mf, _ := c.MostFrequent(i)
+		if mf == yPrime^k10[i] {
+			hits++
+		}
+	}
+	if hits < 12 { // statistical: allow a few positions to miss at n=20k
+		t.Fatalf("most-frequent matched y'^k at only %d/16 positions", hits)
+	}
+	_ = yStar
+}
+
+func TestPresentKnownFaultRecovery(t *testing.T) {
+	key := []byte{0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef, 0x01, 0x23}
+	ks, _ := present.Expand(key)
+	faulty := present.SBox()
+	yStar := faulty[0x5]
+	faulty[0x5] ^= 0x2
+
+	rng := stats.NewRNG(17)
+	c := NewPresentCollector()
+	for i := 0; i < 400; i++ {
+		c.Observe(present.Encrypt(ks, &faulty, rng.Uint64()))
+	}
+	k32, err := c.RecoverLastRoundKeyKnownFault(yStar)
+	if err != nil {
+		t.Fatalf("after %d ciphertexts: %v", c.N(), err)
+	}
+	if k32 != ks.RoundKey(32) {
+		t.Fatalf("K32 = %016x want %016x", k32, ks.RoundKey(32))
+	}
+
+	// Master key recovery with one clean known pair.
+	sb := present.SBox()
+	pt := uint64(0x1122334455667788)
+	ct := present.Encrypt(ks, &sb, pt)
+	master, err := c.RecoverMasterKnownFault(yStar, pt, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(master, key) {
+		t.Fatalf("master %x want %x", master, key)
+	}
+}
+
+func TestPresentUnknownFaultRecovery(t *testing.T) {
+	key := []byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x11, 0x22, 0x33, 0x44, 0x55}
+	ks, _ := present.Expand(key)
+	faulty := present.SBox()
+	faulty[0xA] ^= 0x4
+
+	rng := stats.NewRNG(23)
+	c := NewPresentCollector()
+	for i := 0; i < 400; i++ {
+		c.Observe(present.Encrypt(ks, &faulty, rng.Uint64()))
+	}
+	sb := present.SBox()
+	pt := uint64(0xfeedface)
+	ct := present.Encrypt(ks, &sb, pt)
+	master, err := c.RecoverMasterUnknownFault(pt, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(master, key) {
+		t.Fatalf("master %x want %x", master, key)
+	}
+}
+
+func TestPresentEntropyDecreases(t *testing.T) {
+	key := make([]byte, 10)
+	ks, _ := present.Expand(key)
+	faulty := present.SBox()
+	faulty[0x0] ^= 0x1
+
+	rng := stats.NewRNG(29)
+	c := NewPresentCollector()
+	if e := c.ResidualEntropy(); e != 64 {
+		t.Fatalf("empty collector entropy = %f, want 64", e)
+	}
+	for i := 0; i < 300; i++ {
+		c.Observe(present.Encrypt(ks, &faulty, rng.Uint64()))
+	}
+	if e := c.ResidualEntropy(); e != 0 {
+		t.Fatalf("entropy after 300 = %f", e)
+	}
+}
+
+// PRESENT nibble positions see only 15 of 16 values under a fault; with few
+// ciphertexts recovery must report underdetermined, not wrong keys.
+func TestPresentUnderdetermined(t *testing.T) {
+	key := make([]byte, 10)
+	ks, _ := present.Expand(key)
+	faulty := present.SBox()
+	faulty[0x7] ^= 0x8
+	c := NewPresentCollector()
+	c.Observe(present.Encrypt(ks, &faulty, 1))
+	if _, err := c.RecoverLastRoundKeyKnownFault(0); !errors.Is(err, ErrUnderdetermined) {
+		t.Fatalf("expected underdetermined, got %v", err)
+	}
+}

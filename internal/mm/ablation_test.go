@@ -1,0 +1,65 @@
+package mm
+
+import "testing"
+
+// The FIFO ablation must invert the reuse order: the oldest freed frame
+// comes back first, so the attack's "hottest frame to the next allocation"
+// property disappears.
+func TestPCPFIFOAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalBytes = 64 << 20
+	cfg.PCPFIFO = true
+	pm, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the refill leftovers so the cache holds exactly our frames.
+	var warm []PFN
+	for i := 0; i < cfg.PCPBatch; i++ {
+		p, err := pm.AllocPages(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm = append(warm, p)
+	}
+	a, b, c := warm[0], warm[1], warm[2]
+	if err := pm.FreePages(0, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.FreePages(0, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.FreePages(0, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	got1, _ := pm.AllocPages(0, 0)
+	got2, _ := pm.AllocPages(0, 0)
+	got3, _ := pm.AllocPages(0, 0)
+	if got1 != a || got2 != b || got3 != c {
+		t.Fatalf("FIFO order wrong: freed [%d %d %d], got [%d %d %d]", a, b, c, got1, got2, got3)
+	}
+	// Remaining warm frames stay allocated; free them to keep invariants.
+	for _, p := range warm[3:] {
+		if err := pm.FreePages(0, p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []PFN{got1, got2, got3} {
+		if err := pm.FreePages(0, p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pm.DrainCPU(0)
+	if err := pm.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Default policy must remain LIFO.
+func TestPCPDefaultIsLIFO(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalBytes = 64 << 20
+	if cfg.PCPFIFO {
+		t.Fatal("default config must not enable the FIFO ablation")
+	}
+}

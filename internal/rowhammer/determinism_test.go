@@ -1,0 +1,60 @@
+package rowhammer
+
+import (
+	"testing"
+
+	"explframe/internal/vm"
+)
+
+// Templating must be a pure function of (machine seed, engine config):
+// identical runs discover identical flip sites in identical order.  The
+// attack's reproducibility — and EXPERIMENTS.md — depends on this.
+func TestTemplateDeterminism(t *testing.T) {
+	run := func() []FlipSite {
+		m, p := testMachine(t, 5e-5, 99)
+		e := testEngine(m, p)
+		const length = 2 << 20
+		base := mapAndTouch(t, p, length)
+		flips, err := e.Template(base, length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return flips
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("flip counts diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].VA != b[i].VA || a[i].Bit != b[i].Bit || a[i].From != b[i].From ||
+			a[i].Agg.VictimRow != b[i].Agg.VictimRow || a[i].Agg.Bank != b[i].Agg.Bank {
+			t.Fatalf("flip %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TemplateUntil must stop at the same site every time for the same
+// predicate.
+func TestTemplateUntilDeterminism(t *testing.T) {
+	accept := func(f FlipSite) bool { return f.ByteInPage < 256 }
+	run := func() (FlipSite, bool) {
+		m, p := testMachine(t, 5e-5, 99)
+		e := testEngine(m, p)
+		const length = 4 << 20
+		base := mapAndTouch(t, p, length)
+		site, _, found, err := e.TemplateUntil(base, length, accept)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return site, found
+	}
+	s1, f1 := run()
+	s2, f2 := run()
+	if f1 != f2 {
+		t.Fatalf("found flags diverged: %v vs %v", f1, f2)
+	}
+	if f1 && (s1.VA != s2.VA || s1.Bit != s2.Bit) {
+		t.Fatalf("sites diverged: %+v vs %+v", s1, s2)
+	}
+	_ = vm.PageSize
+}

@@ -1,0 +1,278 @@
+// Package rowhammer implements the attacker-side hammering toolkit of the
+// paper's Section VI: locating aggressor rows around a victim row, the
+// access-and-flush hammer loop, and memory templating — scanning the
+// attacker's own allocation for disturbance-vulnerable bits ("after getting
+// a bit-flip, she unmaps the corresponding page frame").
+//
+// Aggressor discovery needs to know which virtual addresses share a DRAM
+// bank and which rows are physically adjacent.  A real attacker derives this
+// from access-timing side channels (row-conflict latencies, as in the DRAMA
+// work the paper builds on); the simulator stands that oracle in with the
+// device's address mapper, which yields exactly the information the timing
+// channel leaks and nothing more (bank equality and row indices — never
+// cell contents or weak-cell locations).
+package rowhammer
+
+import (
+	"fmt"
+	"sort"
+
+	"explframe/internal/dram"
+	"explframe/internal/kernel"
+	"explframe/internal/vm"
+)
+
+// Mode selects the hammering strategy.
+type Mode int
+
+// Hammering strategies: single-sided uses one adjacent aggressor row plus a
+// far row in the same bank (to force row conflicts); double-sided uses both
+// adjacent rows and is roughly twice as effective per access pair;
+// many-sided is double-sided plus decoy rows that thrash TRR's aggressor
+// tracker (the TRRespass bypass).
+const (
+	SingleSided Mode = iota
+	DoubleSided
+	ManySided
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case DoubleSided:
+		return "double-sided"
+	case ManySided:
+		return "many-sided"
+	default:
+		return "single-sided"
+	}
+}
+
+// Config tunes the engine.
+type Config struct {
+	// Mode is the hammering strategy.
+	Mode Mode
+	// PairHammerCount is the number of activation pairs per hammer run.
+	// It must exceed the DRAM's weakest-cell threshold (within a refresh
+	// window) for flips to appear.
+	PairHammerCount int
+	// MaxFlips stops templating after this many distinct flip sites have
+	// been found; 0 means scan the entire region.  The ExplFrame attacker
+	// only needs one vulnerable page, so early exit is the common case.
+	MaxFlips int
+	// Decoys is the number of tracker-thrashing rows many-sided hammering
+	// adds around the double-sided pair.  It must exceed the TRR tracker
+	// size for the bypass to work; ignored by other modes.
+	Decoys int
+}
+
+// DefaultConfig uses double-sided hammering with a budget comfortably above
+// the default fault model's weakest threshold.
+func DefaultConfig() Config {
+	return Config{
+		Mode:            DoubleSided,
+		PairHammerCount: 55000,
+		MaxFlips:        0,
+	}
+}
+
+// Aggressors identifies the attacker-mapped addresses used to hammer one
+// victim row.
+type Aggressors struct {
+	VictimRow int           // DRAM row index under attack
+	Bank      int           // dense bank-group index
+	Upper     vm.VirtAddr   // address in row-1 (or the single aggressor)
+	Lower     vm.VirtAddr   // address in row+1 (zero for single-sided)
+	Decoys    []vm.VirtAddr // tracker-thrashing rows for many-sided mode
+	Mode      Mode
+}
+
+// FlipSite records one templated vulnerable bit in the attacker's region.
+type FlipSite struct {
+	// VA is the attacker virtual address of the flipped byte.
+	VA vm.VirtAddr
+	// PageVA is the base of the page containing the flip — the page the
+	// attacker will unmap to plant the frame.
+	PageVA vm.VirtAddr
+	// ByteInPage and Bit locate the flip within the page.
+	ByteInPage int
+	Bit        uint8
+	// From is the value the bit held before flipping (1 for a 1->0 cell).
+	From uint8
+	// Agg are the aggressor addresses that produced the flip; re-hammering
+	// them reproduces it.
+	Agg Aggressors
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	RowsScanned  uint64
+	Pairsentries uint64 // hammer runs executed
+	Activations  uint64 // hammer activations issued
+	FlipsFound   uint64
+}
+
+// Engine drives hammering for one attacker process.
+type Engine struct {
+	cfg  Config
+	proc *kernel.Process
+	dev  *dram.Device
+	st   Stats
+}
+
+// New builds an engine for the process on the given machine.
+func New(cfg Config, m *kernel.Machine, proc *kernel.Process) *Engine {
+	return &Engine{cfg: cfg, proc: proc, dev: m.DRAM()}
+}
+
+// Stats returns a copy of the counters.
+func (e *Engine) Stats() Stats { return e.st }
+
+// rowOf returns the DRAM coordinates of the frame backing va, or ok=false
+// when the page is not resident.
+func (e *Engine) rowOf(va vm.VirtAddr) (dram.Addr, bool) {
+	pa, ok := e.proc.Translate(va)
+	if !ok {
+		return dram.Addr{}, false
+	}
+	return e.dev.Mapper().ToDRAM(pa), true
+}
+
+// rowIndex builds a map from (bankGroup, row) to one resident page base per
+// row within [base, base+length).
+func (e *Engine) rowIndex(base vm.VirtAddr, length uint64) map[[2]int]vm.VirtAddr {
+	idx := make(map[[2]int]vm.VirtAddr)
+	mapper := e.dev.Mapper()
+	for off := uint64(0); off < length; off += vm.PageSize {
+		va := base + vm.VirtAddr(off)
+		a, ok := e.rowOf(va)
+		if !ok {
+			continue
+		}
+		key := [2]int{mapper.BankGroup(a), a.Row}
+		if _, dup := idx[key]; !dup {
+			idx[key] = va
+		}
+	}
+	return idx
+}
+
+// FindAggressors locates attacker-mapped pages adjacent to the row backing
+// target, searching [base, base+length) of the attacker's own mapping.
+// Double-sided mode requires both neighbours; single-sided needs only one
+// plus any other same-bank row for conflicts.
+func (e *Engine) FindAggressors(target vm.VirtAddr, base vm.VirtAddr, length uint64) (Aggressors, error) {
+	ta, ok := e.rowOf(target)
+	if !ok {
+		return Aggressors{}, fmt.Errorf("rowhammer: target %#x not resident", uint64(target))
+	}
+	mapper := e.dev.Mapper()
+	bg := mapper.BankGroup(ta)
+	idx := e.rowIndex(base, length)
+	up, upOK := idx[[2]int{bg, ta.Row - 1}]
+	down, downOK := idx[[2]int{bg, ta.Row + 1}]
+	switch e.cfg.Mode {
+	case DoubleSided:
+		if !upOK || !downOK {
+			return Aggressors{}, fmt.Errorf("rowhammer: no double-sided aggressors for row %d", ta.Row)
+		}
+		return Aggressors{VictimRow: ta.Row, Bank: bg, Upper: up, Lower: down, Mode: DoubleSided}, nil
+	case ManySided:
+		if !upOK || !downOK {
+			return Aggressors{}, fmt.Errorf("rowhammer: no double-sided aggressors for row %d", ta.Row)
+		}
+		agg := Aggressors{VictimRow: ta.Row, Bank: bg, Upper: up, Lower: down, Mode: ManySided}
+		decoys, ok := e.selectDecoys(idx, bg, ta.Row)
+		if !ok {
+			return Aggressors{}, fmt.Errorf("rowhammer: fewer than %d decoy rows available in bank %d",
+				e.cfg.Decoys, bg)
+		}
+		agg.Decoys = decoys
+		return agg, nil
+	default:
+		// Single-sided: one adjacent row plus a far conflict row.
+		var near vm.VirtAddr
+		switch {
+		case upOK:
+			near = up
+		case downOK:
+			near = down
+		default:
+			return Aggressors{}, fmt.Errorf("rowhammer: no adjacent aggressor for row %d", ta.Row)
+		}
+		// Deterministic far-row choice: the lowest-numbered same-bank row
+		// outside the victim's neighbourhood (map order would randomise the
+		// activation trace run to run).
+		farRow := -1
+		for key := range idx {
+			if key[0] != bg {
+				continue
+			}
+			if key[1] == ta.Row || key[1] == ta.Row-1 || key[1] == ta.Row+1 {
+				continue
+			}
+			if farRow < 0 || key[1] < farRow {
+				farRow = key[1]
+			}
+		}
+		if farRow < 0 {
+			return Aggressors{}, fmt.Errorf("rowhammer: no conflict row in bank %d", bg)
+		}
+		far := idx[[2]int{bg, farRow}]
+		return Aggressors{VictimRow: ta.Row, Bank: bg, Upper: near, Lower: far, Mode: SingleSided}, nil
+	}
+}
+
+// selectDecoys picks cfg.Decoys tracker-thrashing rows from the index:
+// same bank, far enough from the victim row (distance > 3) to contribute no
+// disturbance, only TRR tracker pressure.  Selection is by ascending row so
+// a given layout always yields the same decoy set (determinism).
+func (e *Engine) selectDecoys(idx map[[2]int]vm.VirtAddr, bg, victimRow int) ([]vm.VirtAddr, bool) {
+	var rows []int
+	for key := range idx {
+		if key[0] != bg {
+			continue
+		}
+		if dr := key[1] - victimRow; dr >= -3 && dr <= 3 {
+			continue
+		}
+		rows = append(rows, key[1])
+	}
+	sort.Ints(rows)
+	var decoys []vm.VirtAddr
+	for _, r := range rows {
+		if len(decoys) >= e.cfg.Decoys {
+			break
+		}
+		decoys = append(decoys, idx[[2]int{bg, r}])
+	}
+	return decoys, len(decoys) >= e.cfg.Decoys
+}
+
+// Hammer executes one hammer run on the aggressor set: n rounds of
+// alternating activations (the access-flush-access loop of Kim et al.).
+// Many-sided runs interleave the decoy rows into every round, keeping the
+// TRR tracker saturated.
+func (e *Engine) Hammer(agg Aggressors, n int) error {
+	for i := 0; i < n; i++ {
+		if err := e.proc.Hammer(agg.Upper); err != nil {
+			return err
+		}
+		if err := e.proc.Hammer(agg.Lower); err != nil {
+			return err
+		}
+		for _, d := range agg.Decoys {
+			if err := e.proc.Hammer(d); err != nil {
+				return err
+			}
+		}
+	}
+	e.st.Pairsentries++
+	e.st.Activations += uint64(n * (2 + len(agg.Decoys)))
+	return nil
+}
+
+// HammerDefault runs Hammer with the configured budget.
+func (e *Engine) HammerDefault(agg Aggressors) error {
+	return e.Hammer(agg, e.cfg.PairHammerCount)
+}

@@ -1,0 +1,210 @@
+package rowhammer
+
+import (
+	"sort"
+
+	"explframe/internal/vm"
+)
+
+// Pattern selects the data written to victim rows while templating.  A
+// 0xFF pattern exposes 1->0 ("true") cells, 0x00 exposes 0->1 ("anti")
+// cells; templating runs both by default.
+type Pattern byte
+
+// Standard templating patterns.
+const (
+	PatternOnes  Pattern = 0xFF
+	PatternZeros Pattern = 0x00
+)
+
+// Template scans the attacker's own mapping [base, base+length) for
+// Rowhammer-vulnerable bits: for every row with both neighbours inside the
+// region it writes the test pattern, hammers, and diffs the victim pages.
+// It stops early after cfg.MaxFlips sites when that is non-zero.
+//
+// The region must already be touched (resident); Template does not fault
+// pages in, mirroring the attack where the 1 GB buffer is populated first.
+func (e *Engine) Template(base vm.VirtAddr, length uint64, patterns ...Pattern) ([]FlipSite, error) {
+	if len(patterns) == 0 {
+		patterns = []Pattern{PatternOnes, PatternZeros}
+	}
+	mapper := e.dev.Mapper()
+	idx := e.rowIndex(base, length)
+
+	// Gather resident pages per (bank, row) — a row can hold several of the
+	// attacker's pages (8 KiB row = 2 pages with the default geometry).
+	pagesByRow := make(map[[2]int][]vm.VirtAddr)
+	for off := uint64(0); off < length; off += vm.PageSize {
+		va := base + vm.VirtAddr(off)
+		a, ok := e.rowOf(va)
+		if !ok {
+			continue
+		}
+		key := [2]int{mapper.BankGroup(a), a.Row}
+		pagesByRow[key] = append(pagesByRow[key], va)
+	}
+
+	// Scan rows in a fixed (bank, row) order: map iteration would make the
+	// discovered site — and hence the whole attack trace — nondeterministic.
+	rowKeys := make([][2]int, 0, len(pagesByRow))
+	for key := range pagesByRow {
+		rowKeys = append(rowKeys, key)
+	}
+	sort.Slice(rowKeys, func(i, j int) bool {
+		if rowKeys[i][0] != rowKeys[j][0] {
+			return rowKeys[i][0] < rowKeys[j][0]
+		}
+		return rowKeys[i][1] < rowKeys[j][1]
+	})
+
+	var flips []FlipSite
+	seen := make(map[vm.VirtAddr]map[int]bool) // pageVA -> byte*8+bit found
+
+	record := func(va vm.VirtAddr, pattern Pattern, agg Aggressors) error {
+		pageVA := va.PageBase()
+		buf, err := e.proc.ReadBytes(pageVA, vm.PageSize)
+		if err != nil {
+			return err
+		}
+		for i, b := range buf {
+			if Pattern(b) == pattern {
+				continue
+			}
+			diff := b ^ byte(pattern)
+			for bit := uint8(0); bit < 8; bit++ {
+				if diff&(1<<bit) == 0 {
+					continue
+				}
+				if seen[pageVA] == nil {
+					seen[pageVA] = make(map[int]bool)
+				}
+				k := i*8 + int(bit)
+				if seen[pageVA][k] {
+					continue
+				}
+				seen[pageVA][k] = true
+				flips = append(flips, FlipSite{
+					VA:         pageVA + vm.VirtAddr(i),
+					PageVA:     pageVA,
+					ByteInPage: i,
+					Bit:        bit,
+					From:       (byte(pattern) >> bit) & 1,
+					Agg:        agg,
+				})
+				e.st.FlipsFound++
+			}
+		}
+		return nil
+	}
+
+	for _, pattern := range patterns {
+		for _, key := range rowKeys {
+			pages := pagesByRow[key]
+			if e.cfg.MaxFlips > 0 && len(flips) >= e.cfg.MaxFlips {
+				return flips, nil
+			}
+			bg, row := key[0], key[1]
+			// Aggressor rows must be resident in the attacker's region.
+			up, upOK := idx[[2]int{bg, row - 1}]
+			down, downOK := idx[[2]int{bg, row + 1}]
+			var agg Aggressors
+			switch e.cfg.Mode {
+			case DoubleSided, ManySided:
+				if !upOK || !downOK {
+					continue
+				}
+				agg = Aggressors{VictimRow: row, Bank: bg, Upper: up, Lower: down, Mode: e.cfg.Mode}
+				if e.cfg.Mode == ManySided {
+					decoys, ok := e.selectDecoys(idx, bg, row)
+					if !ok {
+						continue
+					}
+					agg.Decoys = decoys
+				}
+			default:
+				a, err := e.FindAggressors(pages[0], base, length)
+				if err != nil {
+					continue
+				}
+				agg = a
+			}
+
+			// Write the pattern into every victim page of the row, then
+			// hammer, then diff.  Rewriting also re-arms previously flipped
+			// cells, so repeated templating is idempotent.
+			fill := make([]byte, vm.PageSize)
+			for i := range fill {
+				fill[i] = byte(pattern)
+			}
+			for _, pva := range pages {
+				if err := e.proc.WriteBytes(pva.PageBase(), fill); err != nil {
+					return flips, err
+				}
+			}
+			if err := e.Hammer(agg, e.cfg.PairHammerCount); err != nil {
+				return flips, err
+			}
+			e.st.RowsScanned++
+			for _, pva := range pages {
+				if err := record(pva, pattern, agg); err != nil {
+					return flips, err
+				}
+			}
+		}
+	}
+	return flips, nil
+}
+
+// TemplateUntil scans like Template but stops as soon as a flip satisfying
+// accept is found, returning it.  The attacker uses this to search for a
+// flip that will land inside the victim's table with corrupting polarity
+// without paying for a full-region scan.  found is false if the region is
+// exhausted first; all flips seen along the way are returned for reporting.
+func (e *Engine) TemplateUntil(base vm.VirtAddr, length uint64, accept func(FlipSite) bool) (FlipSite, []FlipSite, bool, error) {
+	// Scan in chunks so early exit saves real work; chunk edges lose a few
+	// candidate rows (their aggressors fall outside the chunk), which only
+	// costs coverage, never correctness.
+	const chunk = 2 << 20
+	var all []FlipSite
+	for off := uint64(0); off < length; off += chunk {
+		sz := uint64(chunk)
+		if off+sz > length {
+			sz = length - off
+		}
+		flips, err := e.Template(base+vm.VirtAddr(off), sz)
+		if err != nil {
+			return FlipSite{}, all, false, err
+		}
+		all = append(all, flips...)
+		for _, f := range flips {
+			if accept(f) {
+				return f, all, true, nil
+			}
+		}
+	}
+	return FlipSite{}, all, false, nil
+}
+
+// Reproduce re-hammers the aggressors of a flip site and reports whether the
+// same bit flipped again.  The caller is responsible for re-arming the cell
+// (writing the page) before calling; Verify in the attack core uses the
+// original pattern.  This measures the paper's Section VI claim of "a high
+// probability of getting bit flips in the same location".
+func (e *Engine) Reproduce(site FlipSite, pattern Pattern) (bool, error) {
+	fill := make([]byte, vm.PageSize)
+	for i := range fill {
+		fill[i] = byte(pattern)
+	}
+	if err := e.proc.WriteBytes(site.PageVA, fill); err != nil {
+		return false, err
+	}
+	if err := e.Hammer(site.Agg, e.cfg.PairHammerCount); err != nil {
+		return false, err
+	}
+	got, err := e.proc.Load(site.VA)
+	if err != nil {
+		return false, err
+	}
+	want := byte(pattern) ^ (1 << site.Bit)
+	return got == want, nil
+}

@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a named monotonically increasing event counter.
+type Counter struct {
+	Name string
+	N    uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.N++ }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.N += n }
+
+// Proportion summarises a Bernoulli experiment: k successes out of n trials.
+type Proportion struct {
+	Successes int
+	Trials    int
+}
+
+// Observe records one trial.
+func (p *Proportion) Observe(success bool) {
+	p.Trials++
+	if success {
+		p.Successes++
+	}
+}
+
+// Rate returns the empirical success probability, or 0 for no trials.
+func (p Proportion) Rate() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// WilsonCI returns the Wilson score interval for the proportion at the given
+// z value (1.96 for 95% confidence).  The Wilson interval behaves sensibly at
+// the 0 and 1 boundaries where the normal approximation fails, which matters
+// for near-deterministic steering experiments.
+func (p Proportion) WilsonCI(z float64) (lo, hi float64) {
+	n := float64(p.Trials)
+	if n == 0 {
+		return 0, 1
+	}
+	phat := p.Rate()
+	z2 := z * z
+	den := 1 + z2/n
+	center := (phat + z2/(2*n)) / den
+	half := z / den * math.Sqrt(phat*(1-phat)/n+z2/(4*n*n))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// String renders the proportion with its 95% Wilson interval.
+func (p Proportion) String() string {
+	lo, hi := p.WilsonCI(1.96)
+	return fmt.Sprintf("%.3f [%.3f, %.3f] (n=%d)", p.Rate(), lo, hi, p.Trials)
+}
+
+// Summary accumulates scalar observations and reports moments and quantiles.
+type Summary struct {
+	vals   []float64
+	sorted bool
+}
+
+// Observe records one value.
+func (s *Summary) Observe(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.vals {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// Min returns the smallest observation.
+func (s *Summary) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	min := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max returns the largest observation.
+func (s *Summary) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	max := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank on the
+// sorted observations.
+func (s *Summary) Quantile(q float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.vals[0]
+	}
+	if q >= 1 {
+		return s.vals[len(s.vals)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(s.vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s.vals[idx]
+}
+
+// String renders mean, std, median and extrema.
+func (s *Summary) String() string {
+	return fmt.Sprintf("mean=%.3f std=%.3f p50=%.3f min=%.3f max=%.3f n=%d",
+		s.Mean(), s.Std(), s.Quantile(0.5), s.Min(), s.Max(), s.N())
+}
+
+// Histogram counts observations into fixed-width bins over [Lo, Hi).  Values
+// outside the range are clamped into the first/last bin so that totals are
+// preserved.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []uint64
+	total  uint64
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]uint64, n)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Bins) {
+		idx = len(h.Bins) - 1
+	}
+	h.Bins[idx]++
+	h.total++
+}
+
+// Total returns the number of observed values.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// String renders a compact ASCII sparkline of the distribution.
+func (h *Histogram) String() string {
+	marks := []rune(" .:-=+*#%@")
+	var max uint64
+	for _, b := range h.Bins {
+		if b > max {
+			max = b
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%g..%g) n=%d |", h.Lo, h.Hi, h.total)
+	for _, b := range h.Bins {
+		idx := 0
+		if max > 0 {
+			idx = int(float64(b) / float64(max) * float64(len(marks)-1))
+		}
+		sb.WriteRune(marks[idx])
+	}
+	sb.WriteString("|")
+	return sb.String()
+}
+
+// Log2 returns log base 2 of x, tolerating x <= 0 by returning 0; used for
+// key-space entropy accounting where empty candidate sets mean "recovered".
+func Log2(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log2(x)
+}

@@ -1,0 +1,276 @@
+// Package trace provides the workload actors the experiments run against
+// the simulated kernel: crypto victims that keep an S-box table in a
+// steerable page, and background noise processes whose allocation churn
+// pollutes the per-CPU page frame cache.
+package trace
+
+import (
+	"fmt"
+
+	"explframe/internal/cipher/aes"
+	"explframe/internal/cipher/present"
+	"explframe/internal/kernel"
+	"explframe/internal/stats"
+	"explframe/internal/vm"
+)
+
+// CipherKind selects the victim's block cipher.
+type CipherKind int
+
+// Supported victim ciphers.
+const (
+	AES128 CipherKind = iota
+	PRESENT80
+)
+
+// String names the cipher.
+func (k CipherKind) String() string {
+	if k == PRESENT80 {
+		return "PRESENT-80"
+	}
+	return "AES-128"
+}
+
+// TableSize returns the size in bytes of the cipher's S-box table as stored
+// in victim memory.
+func (k CipherKind) TableSize() int {
+	if k == PRESENT80 {
+		return 16
+	}
+	return 256
+}
+
+// Victim is a process that performs encryptions with an S-box table held in
+// its own (simulated) memory — the data the ExplFrame attack corrupts.
+type Victim struct {
+	Proc *kernel.Process
+	Kind CipherKind
+
+	tableVA vm.VirtAddr
+	aesKS   *aes.Schedule
+	prKS    *present.Schedule
+	key     []byte
+}
+
+// SpawnVictim creates the victim process on the given CPU and allocates its
+// working memory: requestPages pages obtained with one mmap, with the page
+// holding the S-box table touched first (so the hottest page-frame-cache
+// frame backs the table — the paper's steering target).  tableOffset is the
+// byte offset of the table within that first page.
+func SpawnVictim(m *kernel.Machine, cpu int, kind CipherKind, key []byte, requestPages int, tableOffset int) (*Victim, error) {
+	if requestPages <= 0 {
+		return nil, fmt.Errorf("trace: requestPages must be positive")
+	}
+	if tableOffset < 0 || tableOffset+kind.TableSize() > vm.PageSize {
+		return nil, fmt.Errorf("trace: table at offset %d does not fit a page", tableOffset)
+	}
+	proc, err := m.Spawn("victim", cpu)
+	if err != nil {
+		return nil, err
+	}
+	v := &Victim{Proc: proc, Kind: kind, key: append([]byte(nil), key...)}
+
+	switch kind {
+	case AES128:
+		ks, err := aes.Expand(key)
+		if err != nil {
+			return nil, err
+		}
+		v.aesKS = ks
+	case PRESENT80:
+		ks, err := present.Expand(key)
+		if err != nil {
+			return nil, err
+		}
+		v.prKS = ks
+	default:
+		return nil, fmt.Errorf("trace: unknown cipher kind %d", kind)
+	}
+
+	base, err := proc.Mmap(uint64(requestPages) * vm.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	v.tableVA = base + vm.VirtAddr(tableOffset)
+
+	// First touch allocates the table page — this is the allocation the
+	// attack steers.  Remaining pages are touched afterwards.
+	if err := v.writeTable(); err != nil {
+		return nil, err
+	}
+	for p := 1; p < requestPages; p++ {
+		if err := proc.Store(base+vm.VirtAddr(p)*vm.PageSize, byte(p)); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// writeTable stores the canonical S-box into victim memory.
+func (v *Victim) writeTable() error {
+	switch v.Kind {
+	case AES128:
+		sb := aes.SBox()
+		return v.Proc.WriteBytes(v.tableVA, sb[:])
+	default:
+		sb := present.SBox()
+		return v.Proc.WriteBytes(v.tableVA, sb[:])
+	}
+}
+
+// TablePage returns the base virtual address of the page holding the table.
+func (v *Victim) TablePage() vm.VirtAddr { return v.tableVA.PageBase() }
+
+// Key returns the victim's secret key (for experiment verification only).
+func (v *Victim) Key() []byte { return append([]byte(nil), v.key...) }
+
+// loadAESTable reads the S-box from victim memory, as a table-driven
+// implementation does implicitly on every lookup; reloading per encryption
+// is what makes a DRAM fault persistent across ciphertexts.
+func (v *Victim) loadAESTable() (*[256]byte, error) {
+	raw, err := v.Proc.ReadBytes(v.tableVA, 256)
+	if err != nil {
+		return nil, err
+	}
+	var sb [256]byte
+	copy(sb[:], raw)
+	return &sb, nil
+}
+
+func (v *Victim) loadPresentTable() (*[16]byte, error) {
+	raw, err := v.Proc.ReadBytes(v.tableVA, 16)
+	if err != nil {
+		return nil, err
+	}
+	var sb [16]byte
+	copy(sb[:], raw)
+	return &sb, nil
+}
+
+// EncryptAES encrypts one block with the in-memory table.
+func (v *Victim) EncryptAES(pt []byte) ([16]byte, error) {
+	var ct [16]byte
+	if v.Kind != AES128 {
+		return ct, fmt.Errorf("trace: victim runs %v", v.Kind)
+	}
+	sb, err := v.loadAESTable()
+	if err != nil {
+		return ct, err
+	}
+	aes.EncryptBlock(v.aesKS, sb, ct[:], pt)
+	return ct, nil
+}
+
+// EncryptPresent encrypts one 64-bit block with the in-memory table.
+func (v *Victim) EncryptPresent(pt uint64) (uint64, error) {
+	if v.Kind != PRESENT80 {
+		return 0, fmt.Errorf("trace: victim runs %v", v.Kind)
+	}
+	sb, err := v.loadPresentTable()
+	if err != nil {
+		return 0, err
+	}
+	return present.Encrypt(v.prKS, sb, pt), nil
+}
+
+// TableCorrupted reports whether the in-memory table deviates from the
+// canonical one, and at which byte index.
+func (v *Victim) TableCorrupted() (bool, int, error) {
+	idx, _, err := v.TableCorruptions()
+	if err != nil {
+		return false, 0, err
+	}
+	if len(idx) == 0 {
+		return false, -1, nil
+	}
+	return true, idx[0], nil
+}
+
+// TableCorruptions returns every corrupted table index together with the
+// byte values currently stored there.  The ExplFrame attacker derives the
+// same information from templating (it knows every flippable bit of the
+// planted page and the public table layout); experiments read it directly.
+func (v *Victim) TableCorruptions() (indices []int, values []byte, err error) {
+	n := v.Kind.TableSize()
+	raw, err := v.Proc.ReadBytes(v.tableVA, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	var want []byte
+	if v.Kind == AES128 {
+		sb := aes.SBox()
+		want = sb[:]
+	} else {
+		sb := present.SBox()
+		want = sb[:]
+	}
+	for i := 0; i < n; i++ {
+		if raw[i] != want[i] {
+			indices = append(indices, i)
+			values = append(values, raw[i])
+		}
+	}
+	return indices, values, nil
+}
+
+// Noise is a set of background processes that churn memory on one CPU,
+// polluting its page frame cache the way unrelated system activity does.
+type Noise struct {
+	procs []*kernel.Process
+	rng   *stats.RNG
+	live  [][]vm.VirtAddr // outstanding single-page mappings per process
+}
+
+// SpawnNoise creates n noise processes pinned to the CPU.
+func SpawnNoise(m *kernel.Machine, cpu, n int, rng *stats.RNG) (*Noise, error) {
+	no := &Noise{rng: rng}
+	for i := 0; i < n; i++ {
+		p, err := m.Spawn(fmt.Sprintf("noise%d", i), cpu)
+		if err != nil {
+			return nil, err
+		}
+		no.procs = append(no.procs, p)
+		no.live = append(no.live, nil)
+	}
+	return no, nil
+}
+
+// Churn performs ops random allocation events across the noise processes:
+// each event either maps and touches a page or unmaps a previously mapped
+// one.  This is the traffic that can consume or bury a planted frame.
+func (no *Noise) Churn(ops int) error {
+	if len(no.procs) == 0 {
+		return nil
+	}
+	for i := 0; i < ops; i++ {
+		pi := no.rng.Intn(len(no.procs))
+		p := no.procs[pi]
+		if len(no.live[pi]) > 0 && no.rng.Bool(0.5) {
+			// Unmap a random outstanding page.
+			li := no.rng.Intn(len(no.live[pi]))
+			va := no.live[pi][li]
+			if err := p.Munmap(va, vm.PageSize); err != nil {
+				return err
+			}
+			no.live[pi][li] = no.live[pi][len(no.live[pi])-1]
+			no.live[pi] = no.live[pi][:len(no.live[pi])-1]
+			continue
+		}
+		va, err := p.Mmap(vm.PageSize)
+		if err != nil {
+			return err
+		}
+		if err := p.Store(va, byte(i)); err != nil {
+			return err
+		}
+		no.live[pi] = append(no.live[pi], va)
+	}
+	return nil
+}
+
+// Exit terminates all noise processes.
+func (no *Noise) Exit() {
+	for _, p := range no.procs {
+		p.Exit()
+	}
+}

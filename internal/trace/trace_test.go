@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"explframe/internal/cipher/aes"
+	"explframe/internal/cipher/present"
+	"explframe/internal/dram"
+	"explframe/internal/kernel"
+	"explframe/internal/stats"
+	"explframe/internal/vm"
+)
+
+func testMachine(t *testing.T) *kernel.Machine {
+	t.Helper()
+	cfg := kernel.DefaultConfig()
+	cfg.Geometry = dram.Geometry{Channels: 1, DIMMs: 1, Ranks: 1, Banks: 4, Rows: 512, RowBytes: 8192}
+	m, err := kernel.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCipherKindAccessors(t *testing.T) {
+	if AES128.String() != "AES-128" || PRESENT80.String() != "PRESENT-80" {
+		t.Fatal("names")
+	}
+	if AES128.TableSize() != 256 || PRESENT80.TableSize() != 16 {
+		t.Fatal("table sizes")
+	}
+}
+
+func TestAESVictimEncryptsCorrectly(t *testing.T) {
+	m := testMachine(t)
+	key := []byte("victim-aes-key-0")
+	v, err := SpawnVictim(m, 0, AES128, key, 4, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("plaintext block!")
+	got, err := v.EncryptAES(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference with the pure implementation.
+	ks, _ := aes.Expand(key)
+	sb := aes.SBox()
+	var want [16]byte
+	aes.EncryptBlock(ks, &sb, want[:], pt)
+	if got != want {
+		t.Fatalf("victim ciphertext %x != reference %x", got, want)
+	}
+	if !bytes.Equal(v.Key(), key) {
+		t.Fatal("key accessor")
+	}
+	if _, err := v.EncryptPresent(1); err == nil {
+		t.Fatal("wrong-cipher call accepted")
+	}
+}
+
+func TestPresentVictimEncryptsCorrectly(t *testing.T) {
+	m := testMachine(t)
+	key := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	v, err := SpawnVictim(m, 0, PRESENT80, key, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.EncryptPresent(0xdeadbeef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, _ := present.Expand(key)
+	sb := present.SBox()
+	if want := present.Encrypt(ks, &sb, 0xdeadbeef); got != want {
+		t.Fatalf("victim %016x != reference %016x", got, want)
+	}
+	if _, err := v.EncryptAES(make([]byte, 16)); err == nil {
+		t.Fatal("wrong-cipher call accepted")
+	}
+}
+
+// Corrupting the victim's in-memory table must change ciphertexts and be
+// reported by TableCorrupted.
+func TestVictimTableCorruption(t *testing.T) {
+	m := testMachine(t)
+	key := []byte("victim-aes-key-1")
+	v, err := SpawnVictim(m, 0, AES128, key, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, idx, err := v.TableCorrupted()
+	if err != nil || ok || idx != -1 {
+		t.Fatalf("fresh table reported corrupted: %v %d %v", ok, idx, err)
+	}
+
+	pt := []byte("plaintext block!")
+	before, _ := v.EncryptAES(pt)
+
+	// Flip one bit of table entry 0x42 directly in victim memory.
+	cur, err := v.Proc.Load(v.tableVA + 0x42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Proc.Store(v.tableVA+0x42, cur^0x08); err != nil {
+		t.Fatal(err)
+	}
+
+	ok, idx, err = v.TableCorrupted()
+	if err != nil || !ok || idx != 0x42 {
+		t.Fatalf("corruption not detected: %v %d %v", ok, idx, err)
+	}
+	after, _ := v.EncryptAES(pt)
+	if before == after {
+		t.Fatal("corrupted table produced identical ciphertext (entry unused is astronomically unlikely over full rounds)")
+	}
+}
+
+func TestSpawnVictimValidation(t *testing.T) {
+	m := testMachine(t)
+	if _, err := SpawnVictim(m, 0, AES128, []byte("shortkey"), 4, 0); err == nil {
+		t.Fatal("bad key accepted")
+	}
+	if _, err := SpawnVictim(m, 0, AES128, []byte("victim-aes-key-0"), 0, 0); err == nil {
+		t.Fatal("zero pages accepted")
+	}
+	if _, err := SpawnVictim(m, 0, AES128, []byte("victim-aes-key-0"), 4, vm.PageSize-100); err == nil {
+		t.Fatal("table overflowing the page accepted")
+	}
+	if _, err := SpawnVictim(m, 9, AES128, []byte("victim-aes-key-0"), 4, 0); err == nil {
+		t.Fatal("bad cpu accepted")
+	}
+}
+
+func TestVictimTouchesTablePageFirst(t *testing.T) {
+	m := testMachine(t)
+	// Plant a frame at the hot end of CPU0's cache, then spawn the victim:
+	// its table page must receive that frame.
+	p, _ := m.Spawn("planter", 0)
+	base, _ := p.Mmap(4 * vm.PageSize)
+	p.Touch(base, 4*vm.PageSize)
+	pa, _ := p.Translate(base + vm.PageSize)
+	p.Munmap(base+vm.PageSize, vm.PageSize)
+
+	v, err := SpawnVictim(m, 0, AES128, []byte("victim-aes-key-2"), 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpa, ok := v.Proc.Translate(v.TablePage())
+	if !ok {
+		t.Fatal("table not resident")
+	}
+	if vpa>>12 != pa>>12 {
+		t.Fatalf("table page frame %d, want planted %d", vpa>>12, pa>>12)
+	}
+}
+
+func TestNoiseChurn(t *testing.T) {
+	m := testMachine(t)
+	rng := stats.NewRNG(1)
+	no, err := SpawnNoise(m, 0, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := no.Churn(500); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Phys().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	no.Exit()
+	if err := m.Phys().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Churn with zero processes is a no-op.
+	empty, _ := SpawnNoise(m, 0, 0, rng)
+	if err := empty.Churn(10); err != nil {
+		t.Fatal(err)
+	}
+}

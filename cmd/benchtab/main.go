@@ -12,16 +12,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"explframe/internal/experiments"
+	"explframe/internal/harness"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment id to run (e.g. E3); empty = all")
 	seed := flag.Uint64("seed", 1, "global experiment seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"trial workers per experiment; tables are identical at any value (deterministic per-trial streams)")
 	flag.Parse()
+	harness.SetWorkers(*parallel)
 
 	runners := experiments.All()
 	ran := 0

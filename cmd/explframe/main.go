@@ -7,16 +7,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"explframe/internal/core"
 	"explframe/internal/dram"
+	"explframe/internal/harness"
 	"explframe/internal/rowhammer"
+	"explframe/internal/stats"
 	"explframe/internal/trace"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "attack seed (weak cells, keys, noise)")
+	trials := flag.Int("trials", 1, "independent attack trials to run; >1 prints a success summary instead of one report")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"trial workers for -trials > 1; results are identical at any value (deterministic per-trial streams)")
 	cipher := flag.String("cipher", "aes", "victim cipher: aes or present")
 	noise := flag.Int("noise", 0, "noise processes churning on the victim CPU")
 	noiseOps := flag.Int("noise-ops", 0, "allocation events the noise performs")
@@ -64,6 +70,12 @@ func main() {
 	fmt.Printf("  attacker: %d MiB buffer on CPU %d; victim: %d pages on CPU %d\n\n",
 		cfg.AttackerMemory>>20, cfg.AttackerCPU, cfg.VictimRequestPages, cfg.VictimCPU)
 
+	if *trials > 1 {
+		harness.SetWorkers(*parallel)
+		runSweep(cfg, *trials)
+		return
+	}
+
 	atk, err := core.NewAttack(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "setup: %v\n", err)
@@ -109,4 +121,37 @@ func verdict(b bool) string {
 		return "HIT"
 	}
 	return "miss"
+}
+
+// runSweep executes n attack trials on the harness pool and prints the
+// per-phase success rates, the multi-trial view of the single-run report.
+func runSweep(cfg core.Config, n int) {
+	start := time.Now()
+	reports, err := core.RunAttackTrials(cfg, n, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulator error: %v\n", err)
+		os.Exit(1)
+	}
+	var site, steer, fault, key stats.Proportion
+	var cts stats.Summary
+	for _, rep := range reports {
+		site.Observe(rep.SiteFound)
+		steer.Observe(rep.SteeringHit)
+		fault.Observe(rep.FaultInjected)
+		key.Observe(rep.Success())
+		if rep.Success() {
+			cts.Observe(float64(rep.CiphertextsUsed))
+		}
+	}
+	fmt.Printf("%d trials in %.1fs (workers=%d)\n", n, time.Since(start).Seconds(), harness.Workers())
+	fmt.Printf("  [template] usable site:   %s\n", site.String())
+	fmt.Printf("  [steer]    frame steered: %s\n", steer.String())
+	fmt.Printf("  [rehammer] fault planted: %s\n", fault.String())
+	fmt.Printf("  [analyse]  key recovered: %s\n", key.String())
+	if cts.N() > 0 {
+		fmt.Printf("  ciphertexts to recovery: %s\n", cts.String())
+	}
+	if key.Successes == 0 {
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,3 @@
+module explframe
+
+go 1.22

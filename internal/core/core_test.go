@@ -195,8 +195,11 @@ func TestSteeringTrialCrossCPU(t *testing.T) {
 
 func TestSteeringTrialHeavyNoiseDegrades(t *testing.T) {
 	quiet, noisy := 0, 0
-	const trials = 15
-	for seed := uint64(0); seed < trials; seed++ {
+	trials := 15
+	if testing.Short() {
+		trials = 5
+	}
+	for seed := uint64(0); seed < uint64(trials); seed++ {
 		cfg := DefaultSteeringConfig()
 		cfg.Seed = seed
 		res, err := RunSteeringTrial(cfg)

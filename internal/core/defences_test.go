@@ -27,6 +27,9 @@ func TestAttackBlockedByTRR(t *testing.T) {
 // Many-sided hammering with enough decoys must restore the full pipeline
 // under the same TRR configuration (the TRRespass bypass end to end).
 func TestAttackManySidedBypassesTRR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed many-sided sweep")
+	}
 	var succeeded bool
 	for seed := uint64(1); seed <= 4 && !succeeded; seed++ {
 		cfg := fastConfig(seed)
@@ -58,7 +61,10 @@ func TestAttackManySidedBypassesTRR(t *testing.T) {
 // the template or rehammer phase as the stopping point.)
 func TestAttackBlockedByECC(t *testing.T) {
 	blocked := 0
-	const trials = 3
+	trials := uint64(3)
+	if testing.Short() {
+		trials = 1
+	}
 	for seed := uint64(1); seed <= trials; seed++ {
 		cfg := fastConfig(seed)
 		cfg.Machine.FaultModel.ECC = dram.ECCSecDed

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"explframe/internal/harness"
+	"explframe/internal/stats"
+)
+
+// This file provides the parallel Monte Carlo sweeps over the package's
+// three trial kinds — full attacks, steering-only trials and prior-work
+// baselines.  Each sweep runs on the harness worker pool with the
+// determinism contract the experiment tables rely on: trial k's
+// configuration seed is drawn from stats.NewStream(base.Seed, k), so the
+// result slice is a pure function of the base configuration and trial
+// count, independent of worker count and scheduling.
+
+// RunAttackTrials executes n independent end-to-end attack trials derived
+// from base.  Each trial re-seeds a copy of base from its private stream
+// (fresh weak cells, keys and noise per trial); mutate, when non-nil, can
+// adjust the copy further (e.g. scenario knobs) before the run.  Results
+// are ordered by trial index.
+func RunAttackTrials(base Config, n int, mutate func(trial int, cfg *Config)) ([]*Report, error) {
+	return harness.RunTrials(base.Seed, n, func(tr int, rng *stats.RNG) (*Report, error) {
+		cfg := base
+		cfg.Seed = rng.Uint64()
+		if mutate != nil {
+			mutate(tr, &cfg)
+		}
+		atk, err := NewAttack(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return atk.Run()
+	})
+}
+
+// RunSteeringTrials executes n independent steering trials derived from
+// base, re-seeding each copy from its trial stream.
+func RunSteeringTrials(base SteeringConfig, n int) ([]*SteeringResult, error) {
+	return harness.RunTrials(base.Seed, n, func(_ int, rng *stats.RNG) (*SteeringResult, error) {
+		cfg := base
+		cfg.Seed = rng.Uint64()
+		return RunSteeringTrial(cfg)
+	})
+}
+
+// RunBaselineTrials executes n independent baseline trials derived from
+// base, re-seeding each copy from its trial stream.
+func RunBaselineTrials(base BaselineConfig, n int) ([]*BaselineResult, error) {
+	return harness.RunTrials(base.Seed, n, func(_ int, rng *stats.RNG) (*BaselineResult, error) {
+		cfg := base
+		cfg.Seed = rng.Uint64()
+		return RunBaselineTrial(cfg)
+	})
+}

@@ -2,6 +2,7 @@ package dram
 
 import (
 	"fmt"
+	"math"
 
 	"explframe/internal/stats"
 )
@@ -98,6 +99,11 @@ type Device struct {
 	disturb   []float64
 	dirty     []int // rows with non-zero disturbance, for cheap refresh
 	weakCount int
+	// minThr caches, per row, the lowest threshold among cells that can
+	// still fire (neither flipped nor held); +Inf when none can.  The
+	// hammer loop consults it to skip the per-cell scan for the bulk of
+	// activations, which sit below every active threshold.
+	minThr []float64
 
 	// openRow tracks the row buffer per bank group; an access to a
 	// different row precharges and activates, which is what disturbs
@@ -147,15 +153,37 @@ func NewDevice(g Geometry, model FaultModel, seed uint64) (*Device, error) {
 		data:      make([]byte, g.TotalBytes()),
 		weakByRow: make([][]*WeakCell, nRows),
 		disturb:   make([]float64, nRows),
+		minThr:    make([]float64, nRows),
 		openRow:   make([]int, g.NumBankGroups()),
 		rng:       stats.NewRNG(seed),
 	}
 	for i := range d.openRow {
 		d.openRow[i] = -1
 	}
+	for i := range d.minThr {
+		d.minThr[i] = inf
+	}
 	d.placeWeakCells()
 	d.initTRR()
 	return d, nil
+}
+
+// inf is the sentinel minThr value for rows with no cell able to fire.
+var inf = math.Inf(1)
+
+// recomputeMinThr refreshes the cached minimum active threshold of a row
+// after any cell's flipped/held state changed.
+func (d *Device) recomputeMinThr(idx int) {
+	m := inf
+	for _, wc := range d.weakByRow[idx] {
+		if wc.flipped || wc.held {
+			continue
+		}
+		if t := float64(wc.Threshold); t < m {
+			m = t
+		}
+	}
+	d.minThr[idx] = m
 }
 
 // rowIndex returns the dense index of (bankGroup, row).
@@ -186,6 +214,9 @@ func (d *Device) placeWeakCells() {
 		wc.Threshold = int(float64(d.model.BaseThreshold) * spread)
 		idx := d.rowIndex(wc.Bank, wc.Row)
 		d.weakByRow[idx] = append(d.weakByRow[idx], wc)
+		if t := float64(wc.Threshold); t < d.minThr[idx] {
+			d.minThr[idx] = t
+		}
 		d.weakCount++
 	}
 }
@@ -197,6 +228,7 @@ func (d *Device) PlantWeakCell(wc WeakCell) {
 	idx := d.rowIndex(c.Bank, c.Row)
 	d.weakByRow[idx] = append(d.weakByRow[idx], &c)
 	d.weakCount++
+	d.recomputeMinThr(idx)
 }
 
 // Geometry returns the device geometry.
@@ -272,6 +304,13 @@ func (d *Device) addDisturb(bg, row int, w float64) {
 	}
 	d.disturb[idx] += w
 	acc := d.disturb[idx]
+	if acc < d.minThr[idx] {
+		// No still-armed cell can cross yet (or none is left armed):
+		// skip the per-cell scan, which the hammer loop hits millions of
+		// times below the onset.
+		return
+	}
+	changed := false
 	for _, wc := range cells {
 		if wc.flipped || wc.held {
 			continue
@@ -281,10 +320,15 @@ func (d *Device) addDisturb(bg, row int, w float64) {
 				// The cell held this window; it gets a fresh chance after
 				// the next refresh.
 				wc.held = true
+				changed = true
 				continue
 			}
 			d.flipCell(bg, row, wc)
+			changed = true
 		}
+	}
+	if changed {
+		d.recomputeMinThr(idx)
 	}
 }
 
@@ -329,6 +373,7 @@ func (d *Device) Refresh() {
 		for _, wc := range d.weakByRow[idx] {
 			wc.held = false
 		}
+		d.recomputeMinThr(idx)
 	}
 	d.dirty = d.dirty[:0]
 	d.sinceRefresh = 0
@@ -369,11 +414,16 @@ func (d *Device) Write(pa uint64, v byte) {
 // rearm clears the discharged state of weak cells in the written byte.
 func (d *Device) rearm(a Addr) {
 	idx := d.rowIndex(d.mapper.BankGroup(a), a.Row)
+	changed := false
 	for _, wc := range d.weakByRow[idx] {
 		if wc.ByteInRow == a.Col {
+			changed = changed || wc.flipped
 			wc.flipped = false
 			wc.corrupted = false
 		}
+	}
+	if changed {
+		d.recomputeMinThr(idx)
 	}
 }
 
@@ -398,10 +448,124 @@ func (d *Device) WriteNoActivate(pa uint64, v byte) {
 	d.rearm(a)
 }
 
+// ReadRangeNoActivate copies [pa, pa+len(out)) into out, bypassing the
+// activation model.  With ECC enabled the copy is corrected with the same
+// data and counter semantics as per-byte eccCorrect calls over the range,
+// but at one weak-cell scan per covered row instead of one per byte.
+func (d *Device) ReadRangeNoActivate(pa uint64, out []byte) {
+	copy(out, d.data[pa:pa+uint64(len(out))])
+	if d.model.ECC == ECCSecDed && len(out) > 0 {
+		d.eccCorrectRange(pa, out)
+	}
+}
+
+// eccCorrectRange applies SEC-DED over the copied range.  eccCorrect counts
+// one event per byte read from a word holding observable flips; the bulk
+// form adds the same totals word by word.
+func (d *Device) eccCorrectRange(pa uint64, out []byte) {
+	lo, hi := pa, pa+uint64(len(out))
+	rowBytes := uint64(d.geom.RowBytes)
+	var words map[uint64][]*WeakCell // word base pa -> corrupted cells
+	for base := lo &^ (rowBytes - 1); base < hi; base += rowBytes {
+		a := d.mapper.ToDRAM(base)
+		for _, wc := range d.weakByRow[d.rowIndex(d.mapper.BankGroup(a), a.Row)] {
+			if !wc.corrupted {
+				continue
+			}
+			wordBase := base + uint64(wc.ByteInRow&^7)
+			if wordBase+8 <= lo || wordBase >= hi {
+				continue
+			}
+			if words == nil {
+				words = make(map[uint64][]*WeakCell)
+			}
+			words[wordBase] = append(words[wordBase], wc)
+		}
+	}
+	for wordBase, cells := range words {
+		overlapLo, overlapHi := wordBase, wordBase+8
+		if overlapLo < lo {
+			overlapLo = lo
+		}
+		if overlapHi > hi {
+			overlapHi = hi
+		}
+		read := overlapHi - overlapLo
+		if len(cells) == 1 {
+			d.stats.ECCCorrected += read
+			cellPA := wordBase + uint64(cells[0].ByteInRow&7)
+			if cellPA >= lo && cellPA < hi {
+				out[cellPA-lo] ^= 1 << cells[0].Bit
+			}
+			continue
+		}
+		d.stats.ECCUncorrectable += read
+	}
+}
+
+// WriteRangeNoActivate stores data at [pa, pa+len(data)) bypassing the
+// activation model, with the same re-arm semantics as per-byte
+// WriteNoActivate but one row scan per covered row instead of one per byte.
+func (d *Device) WriteRangeNoActivate(pa uint64, data []byte) {
+	copy(d.data[pa:pa+uint64(len(data))], data)
+	d.rearmRange(pa, pa+uint64(len(data)))
+}
+
+// FillNoActivate stores n copies of v at [pa, pa+n), bypassing the
+// activation model; the kernel's page zeroing uses it.
+func (d *Device) FillNoActivate(pa, n uint64, v byte) {
+	seg := d.data[pa : pa+n]
+	for i := range seg {
+		seg[i] = v
+	}
+	d.rearmRange(pa, pa+n)
+}
+
+// rearmRange clears the discharged state of weak cells whose byte falls in
+// the physical range [lo, hi).  The mapper keeps column bits lowest, so a
+// contiguous physical range decomposes into whole-row segments with
+// contiguous column spans — one weak-cell scan per row replaces the per-byte
+// scan of rearm.
+func (d *Device) rearmRange(lo, hi uint64) {
+	rowBytes := uint64(d.geom.RowBytes)
+	for base := lo &^ (rowBytes - 1); base < hi; base += rowBytes {
+		a := d.mapper.ToDRAM(base)
+		cells := d.weakByRow[d.rowIndex(d.mapper.BankGroup(a), a.Row)]
+		if len(cells) == 0 {
+			continue
+		}
+		colLo, colHi := 0, int(rowBytes)
+		if base < lo {
+			colLo = int(lo - base)
+		}
+		if base+rowBytes > hi {
+			colHi = int(hi - base)
+		}
+		changed := false
+		for _, wc := range cells {
+			if wc.ByteInRow >= colLo && wc.ByteInRow < colHi {
+				changed = changed || wc.flipped
+				wc.flipped = false
+				wc.corrupted = false
+			}
+		}
+		if changed {
+			d.recomputeMinThr(d.rowIndex(d.mapper.BankGroup(a), a.Row))
+		}
+	}
+}
+
 // ActivateRow explicitly opens the row containing pa; this is the hammer
 // primitive (a read with the result discarded).
 func (d *Device) ActivateRow(pa uint64) {
 	d.activate(d.mapper.ToDRAM(pa))
+}
+
+// ActivateAddr opens the row at pre-resolved DRAM coordinates.  Hammer loops
+// translate their aggressor addresses once and then issue millions of
+// activations, so skipping the per-access ToDRAM matters.
+func (d *Device) ActivateAddr(a Addr) {
+	d.activate(a)
 }
 
 // WeakCellsInRange reports the weak cells whose physical byte address falls

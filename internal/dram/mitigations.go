@@ -112,6 +112,7 @@ func (d *Device) trrRefreshNeighbours(bg, row int) {
 		for _, wc := range d.weakByRow[idx] {
 			wc.held = false
 		}
+		d.recomputeMinThr(idx)
 	}
 }
 

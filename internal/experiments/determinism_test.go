@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"explframe/internal/harness"
+)
+
+// One seed must produce byte-identical rendered tables no matter how many
+// workers the harness runs — the determinism contract that makes the
+// regenerated fault statistics comparable across machines and runs.  The
+// experiments chosen here cover the three trial kinds the harness drives:
+// allocator self-reuse (E2), steering sweeps (E14) and crypto-only PFA
+// trials (E10).
+func TestTablesWorkerCountInvariant(t *testing.T) {
+	runners := map[string]func(uint64) (*Table, error){
+		"E2":  E2SelfReuse,
+		"E10": E10PFAPresent,
+		"E14": E14PCPPolicy,
+	}
+	if testing.Short() {
+		runners = map[string]func(uint64) (*Table, error){"E10": E10PFAPresent}
+	}
+	workerCounts := []int{1, 4, runtime.NumCPU()}
+	for name, run := range runners {
+		var ref string
+		for _, workers := range workerCounts {
+			prev := harness.SetWorkers(workers)
+			tb, err := run(7)
+			harness.SetWorkers(prev)
+			if err != nil {
+				t.Fatalf("%s at %d workers: %v", name, workers, err)
+			}
+			out := tb.Render()
+			if ref == "" {
+				ref = out
+				continue
+			}
+			if out != ref {
+				t.Fatalf("%s table diverges at %d workers:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+					name, workers, ref, workers, out)
+			}
+		}
+	}
+}
+
+// The heavyweight machine-backed experiment must also be worker-invariant:
+// E6 runs full attack pipelines through core.RunAttackTrials.
+func TestAttackTableWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full end-to-end sweep")
+	}
+	var ref string
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		prev := harness.SetWorkers(workers)
+		tb, err := E6EndToEnd(3)
+		harness.SetWorkers(prev)
+		if err != nil {
+			t.Fatalf("E6 at %d workers: %v", workers, err)
+		}
+		if ref == "" {
+			ref = tb.Render()
+		} else if tb.Render() != ref {
+			t.Fatalf("E6 table diverges at %d workers", workers)
+		}
+	}
+}

@@ -20,7 +20,7 @@ func E13Defences(seed uint64) (*Table, error) {
 		Claim:   "extension: which deployed mitigations actually stop the ExplFrame pipeline, and at what cost",
 		Headers: []string{"defence", "hammer_mode", "fault_in_table", "notes"},
 	}
-	const trials = 5
+	const trials = 8
 
 	type scen struct {
 		name  string
@@ -42,22 +42,18 @@ func E13Defences(seed uint64) (*Table, error) {
 		{"ECC SEC-DED", rowhammer.DoubleSided, 0, dram.TRRConfig{}, dram.ECCSecDed,
 			"single-bit table faults corrected on read"},
 	}
-	for _, sc := range scens {
+	for si, sc := range scens {
+		cfg := attackConfig(stats.DeriveSeed(seed, label(13, uint64(si))))
+		cfg.Machine.FaultModel.TRR = sc.trr
+		cfg.Machine.FaultModel.ECC = sc.ecc
+		cfg.Hammer.Mode = sc.mode
+		cfg.Hammer.Decoys = sc.decoy
+		reports, err := core.RunAttackTrials(cfg, trials, nil)
+		if err != nil {
+			return nil, err
+		}
 		var fault stats.Proportion
-		for tr := 0; tr < trials; tr++ {
-			cfg := attackConfig(seed + uint64(tr)*97)
-			cfg.Machine.FaultModel.TRR = sc.trr
-			cfg.Machine.FaultModel.ECC = sc.ecc
-			cfg.Hammer.Mode = sc.mode
-			cfg.Hammer.Decoys = sc.decoy
-			atk, err := core.NewAttack(cfg)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := atk.Run()
-			if err != nil {
-				return nil, err
-			}
+		for _, rep := range reports {
 			fault.Observe(rep.FaultInjected)
 		}
 		t.Rows = append(t.Rows, []string{sc.name, sc.mode.String(), f2(fault.Rate()), sc.note})
@@ -81,20 +77,22 @@ func E14PCPPolicy(seed uint64) (*Table, error) {
 	}
 	const trials = 25
 
+	cell := 0
 	for _, fifo := range []bool{false, true} {
 		for _, pages := range []int{1, 4, 16} {
+			cfg := core.DefaultSteeringConfig()
+			cfg.Machine = smallMachine(seed)
+			cfg.Machine.PCPFIFO = fifo
+			cfg.Seed = stats.DeriveSeed(seed, label(14, uint64(cell)))
+			cfg.VictimRequestPages = pages
+			cell++
+			results, err := core.RunSteeringTrials(cfg, trials)
+			if err != nil {
+				return nil, err
+			}
 			var first stats.Proportion
 			var anywhere stats.Summary
-			for tr := 0; tr < trials; tr++ {
-				cfg := core.DefaultSteeringConfig()
-				cfg.Machine = smallMachine(seed)
-				cfg.Machine.PCPFIFO = fifo
-				cfg.Seed = seed + uint64(tr)*193
-				cfg.VictimRequestPages = pages
-				res, err := core.RunSteeringTrial(cfg)
-				if err != nil {
-					return nil, err
-				}
+			for _, res := range results {
 				first.Observe(res.FirstPageHit)
 				anywhere.Observe(float64(res.PlantedReused))
 			}

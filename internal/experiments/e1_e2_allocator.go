@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"explframe/internal/dram"
+	"explframe/internal/harness"
 	"explframe/internal/kernel"
 	"explframe/internal/mm"
 	"explframe/internal/stats"
@@ -96,18 +97,24 @@ func E2SelfReuse(seed uint64) (*Table, error) {
 	const trials = 8
 	const freed = 8
 
+	cell := 0
 	for _, req := range requests {
 		row := []string{fmt.Sprint(req)}
 		for _, batch := range batches {
+			request, pcpBatch := req, batch
+			fracs, err := harness.RunTrials(stats.DeriveSeed(seed, label(2, uint64(cell))), trials,
+				func(_ int, rng *stats.RNG) (float64, error) {
+					mc := smallMachine(rng.Uint64())
+					mc.PCPBatch = pcpBatch
+					mc.PCPHigh = pcpBatch * 6
+					return selfReuse(mc, freed, request)
+				})
+			if err != nil {
+				return nil, err
+			}
+			cell++
 			sum := 0.0
-			for tr := 0; tr < trials; tr++ {
-				mc := smallMachine(seed + uint64(tr))
-				mc.PCPBatch = batch
-				mc.PCPHigh = batch * 6
-				frac, err := selfReuse(mc, freed, req)
-				if err != nil {
-					return nil, err
-				}
+			for _, frac := range fracs {
 				sum += frac
 			}
 			row = append(row, f3(sum/trials))

@@ -7,17 +7,17 @@ import (
 	"explframe/internal/stats"
 )
 
-// steeringRate runs trials of one steering configuration and returns the
-// first-page-hit proportion.
+// steeringRate runs trials of one steering configuration on the parallel
+// harness and returns the first-page-hit proportion.  The per-trial seeds
+// derive from base.Seed, so a row's statistics are fixed by its seed alone.
 func steeringRate(base core.SteeringConfig, seed uint64, trials int) (stats.Proportion, error) {
+	base.Seed = seed
 	var p stats.Proportion
-	for tr := 0; tr < trials; tr++ {
-		cfg := base
-		cfg.Seed = seed + uint64(tr)*7919
-		res, err := core.RunSteeringTrial(cfg)
-		if err != nil {
-			return p, err
-		}
+	results, err := core.RunSteeringTrials(base, trials)
+	if err != nil {
+		return p, err
+	}
+	for _, res := range results {
 		p.Observe(res.FirstPageHit)
 	}
 	return p, nil
@@ -32,7 +32,7 @@ func E3Steering(seed uint64) (*Table, error) {
 		Claim:   "Sec. V: \"the page frame that was unmapped by the adversarial process gets allocated to the victim process\" (same CPU, small request)",
 		Headers: []string{"victim_pages", "noise_ops", "cpus", "success", "ci95"},
 	}
-	const trials = 25
+	const trials = 40
 
 	type case_ struct {
 		pages    int
@@ -44,7 +44,7 @@ func E3Steering(seed uint64) (*Table, error) {
 		{4, 50, false}, {4, 150, false}, {4, 400, false},
 		{4, 0, true}, {16, 150, true},
 	}
-	for _, c := range cases {
+	for ci, c := range cases {
 		cfg := core.DefaultSteeringConfig()
 		cfg.Machine = smallMachine(seed)
 		cfg.VictimRequestPages = c.pages
@@ -57,7 +57,7 @@ func E3Steering(seed uint64) (*Table, error) {
 			cfg.VictimCPU = 1
 			cpus = "cross"
 		}
-		p, err := steeringRate(cfg, seed, trials)
+		p, err := steeringRate(cfg, stats.DeriveSeed(seed, label(3, uint64(ci))), trials)
 		if err != nil {
 			return nil, err
 		}
@@ -82,7 +82,7 @@ func E11ActiveWait(seed uint64) (*Table, error) {
 		Claim:   "Sec. V: \"the adversarial process must remain active ... since in that case the entire process state information including page frame cache will be swapped out\"",
 		Headers: []string{"attacker_state", "cpu_company", "drain_on_idle", "success"},
 	}
-	const trials = 25
+	const trials = 40
 
 	type case_ struct {
 		sleeps  bool
@@ -95,29 +95,20 @@ func E11ActiveWait(seed uint64) (*Table, error) {
 		{true, true, true},
 		{true, false, false},
 	}
-	for _, c := range cases {
+	for ci, c := range cases {
 		cfg := core.DefaultSteeringConfig()
 		cfg.Machine = smallMachine(seed)
 		cfg.Machine.DrainOnIdle = c.drain
 		cfg.AttackerSleeps = c.sleeps
-		var p stats.Proportion
-		for tr := 0; tr < trials; tr++ {
-			cfg.Seed = seed + uint64(tr)*104729
-			var err error
-			var hit bool
-			if c.company {
-				hit, err = steeringWithCompany(cfg)
-			} else {
-				res, e := core.RunSteeringTrial(cfg)
-				if e == nil {
-					hit = res.FirstPageHit
-				}
-				err = e
-			}
-			if err != nil {
-				return nil, err
-			}
-			p.Observe(hit)
+		if c.company {
+			// A busy peer process keeps the CPU from idling, which is
+			// equivalent (from the allocator's point of view) to disabling
+			// the idle drain while the attacker itself sleeps.
+			cfg.Machine.DrainOnIdle = false
+		}
+		p, err := steeringRate(cfg, stats.DeriveSeed(seed, label(11, uint64(ci))), trials)
+		if err != nil {
+			return nil, err
 		}
 		state := "active"
 		if c.sleeps {
@@ -133,18 +124,4 @@ func E11ActiveWait(seed uint64) (*Table, error) {
 		fmt.Sprintf("%d trials per row", trials),
 		"a sleeping attacker only survives if another runnable process keeps the CPU from idling (or drain-on-idle is off)")
 	return t, nil
-}
-
-// steeringWithCompany reproduces the sleeping-attacker trial but keeps an
-// unrelated runnable process on the CPU so the idle drain never triggers.
-func steeringWithCompany(cfg core.SteeringConfig) (bool, error) {
-	// The company process is modelled by disabling the drain — equivalent
-	// from the allocator's point of view (the CPU never idles) — while
-	// still marking the attacker asleep.
-	cfg.Machine.DrainOnIdle = false
-	res, err := core.RunSteeringTrial(cfg)
-	if err != nil {
-		return false, err
-	}
-	return res.FirstPageHit, nil
 }

@@ -38,7 +38,7 @@ func E6EndToEnd(seed uint64) (*Table, error) {
 		Claim:   "Sec. VI: targeted Rowhammer on a single victim page without special privilege, exploited via persistent faults [12]",
 		Headers: []string{"scenario", "site_found", "steering", "fault", "key_recovered", "avg_ciphertexts"},
 	}
-	const trials = 6
+	const trials = 10
 
 	type scenario struct {
 		name string
@@ -50,20 +50,16 @@ func E6EndToEnd(seed uint64) (*Table, error) {
 		{"cross-CPU victim", func(c *core.Config) { c.VictimCPU = 1 }},
 		{"sleeping attacker", func(c *core.Config) { c.AttackerSleeps = true }},
 	}
-	for _, sc := range scenarios {
+	for si, sc := range scenarios {
+		cfg := attackConfig(stats.DeriveSeed(seed, label(6, uint64(si))))
+		sc.mod(&cfg)
+		reports, err := core.RunAttackTrials(cfg, trials, nil)
+		if err != nil {
+			return nil, err
+		}
 		var site, steer, fault, key stats.Proportion
 		var cts stats.Summary
-		for tr := 0; tr < trials; tr++ {
-			cfg := attackConfig(seed + uint64(tr)*31337)
-			sc.mod(&cfg)
-			atk, err := core.NewAttack(cfg)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := atk.Run()
-			if err != nil {
-				return nil, err
-			}
+		for _, rep := range reports {
 			site.Observe(rep.SiteFound)
 			steer.Observe(rep.SteeringHit)
 			fault.Observe(rep.FaultInjected)
@@ -95,23 +91,27 @@ func E8Baselines(seed uint64) (*Table, error) {
 		Claim:   "Sec. VI: prior attacks either target a large address space or need pagemap (CAP_SYS_ADMIN); ExplFrame targets a single page unprivileged",
 		Headers: []string{"attack", "privilege", "fault_in_table", "notes"},
 	}
-	const trials = 8
+	const trials = 12
+
+	// All three rows share one base seed: trial k of every attack model then
+	// draws the same per-trial stream, hence the same machine and weak-cell
+	// layout — a paired comparison of the attacks, not of the layouts.
+	ac := attackConfig(stats.DeriveSeed(seed, label(8, 0)))
 
 	// Baselines.
 	for _, kind := range []core.BaselineKind{core.RandomSpray, core.PagemapTargeted} {
+		bc := core.DefaultBaselineConfig(kind)
+		bc.Seed = ac.Seed
+		bc.Machine = ac.Machine
+		bc.Hammer = ac.Hammer
+		bc.AttackerMemory = ac.AttackerMemory
+		results, err := core.RunBaselineTrials(bc, trials)
+		if err != nil {
+			return nil, err
+		}
 		var hit stats.Proportion
 		neighbours := 0
-		for tr := 0; tr < trials; tr++ {
-			ac := attackConfig(seed + uint64(tr)*7)
-			bc := core.DefaultBaselineConfig(kind)
-			bc.Seed = ac.Seed
-			bc.Machine = ac.Machine
-			bc.Hammer = ac.Hammer
-			bc.AttackerMemory = ac.AttackerMemory
-			res, err := core.RunBaselineTrial(bc)
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results {
 			hit.Observe(res.TableCorrupted)
 			if res.NeighboursOwned {
 				neighbours++
@@ -130,16 +130,11 @@ func E8Baselines(seed uint64) (*Table, error) {
 	// ExplFrame, success criterion aligned with the baselines (fault
 	// reaches the victim table).
 	var hit stats.Proportion
-	for tr := 0; tr < trials; tr++ {
-		cfg := attackConfig(seed + uint64(tr)*7)
-		atk, err := core.NewAttack(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := atk.Run()
-		if err != nil {
-			return nil, err
-		}
+	reports, err := core.RunAttackTrials(ac, trials, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, rep := range reports {
 		hit.Observe(rep.FaultInjected)
 	}
 	t.Rows = append(t.Rows, []string{

@@ -8,6 +8,7 @@ import (
 	"explframe/internal/cipher/present"
 	"explframe/internal/fault/dfa"
 	"explframe/internal/fault/pfa"
+	"explframe/internal/harness"
 	"explframe/internal/stats"
 )
 
@@ -20,21 +21,25 @@ func E7PFAAES(seed uint64) (*Table, error) {
 		Claim:   "Conclusion/[12]: persistent faults \"exploited offline to eventually extract key information\"; TCHES 2018 reports ~2000 ciphertexts for AES",
 		Headers: []string{"ciphertexts", "avg_entropy_bits", "recovered_frac", "positions_determined"},
 	}
-	const trials = 12
+	const trials = 32
 	checkpoints := []int{250, 500, 1000, 1500, 2000, 2500, 3000, 4000, 6000}
 
-	entropy := make([]float64, len(checkpoints))
-	recovered := make([]int, len(checkpoints))
-	positions := make([]float64, len(checkpoints))
-	var toRecover stats.Summary
-
-	for tr := 0; tr < trials; tr++ {
-		rng := stats.NewRNG(seed + uint64(tr)*911)
+	type trial struct {
+		entropy     []float64
+		positions   []int
+		recoveredAt int
+	}
+	results, err := harness.RunTrials(stats.DeriveSeed(seed, label(7, 0)), trials, func(_ int, rng *stats.RNG) (trial, error) {
+		out := trial{
+			entropy:     make([]float64, len(checkpoints)),
+			positions:   make([]int, len(checkpoints)),
+			recoveredAt: -1,
+		}
 		key := make([]byte, 16)
 		rng.Bytes(key)
 		ks, err := aes.Expand(key)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		faulty := aes.SBox()
 		vStar := rng.Intn(256)
@@ -45,32 +50,46 @@ func E7PFAAES(seed uint64) (*Table, error) {
 		pt := make([]byte, 16)
 		ct := make([]byte, 16)
 		next := 0
-		recoveredAt := -1
 		for n := 1; n <= checkpoints[len(checkpoints)-1]; n++ {
 			rng.Bytes(pt)
 			aes.EncryptBlock(ks, &faulty, ct, pt)
 			if err := col.Observe(ct); err != nil {
-				return nil, err
+				return out, err
 			}
-			if recoveredAt < 0 {
+			if out.recoveredAt < 0 {
 				if _, err := col.RecoverLastRoundKeyKnownFault(yStar); err == nil {
-					recoveredAt = n
-					toRecover.Observe(float64(n))
+					out.recoveredAt = n
 				}
 			}
 			if next < len(checkpoints) && n == checkpoints[next] {
-				entropy[next] += col.ResidualEntropy()
-				det := 0
+				out.entropy[next] = col.ResidualEntropy()
 				for i := 0; i < 16; i++ {
 					if len(col.Missing(i)) == 1 {
-						det++
+						out.positions[next]++
 					}
 				}
-				positions[next] += float64(det)
-				if recoveredAt > 0 && recoveredAt <= n {
-					recovered[next]++
-				}
 				next++
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	entropy := make([]float64, len(checkpoints))
+	recovered := make([]int, len(checkpoints))
+	positions := make([]float64, len(checkpoints))
+	var toRecover stats.Summary
+	for _, tr := range results {
+		if tr.recoveredAt > 0 {
+			toRecover.Observe(float64(tr.recoveredAt))
+		}
+		for i := range checkpoints {
+			entropy[i] += tr.entropy[i]
+			positions[i] += float64(tr.positions[i])
+			if tr.recoveredAt > 0 && tr.recoveredAt <= checkpoints[i] {
+				recovered[i]++
 			}
 		}
 	}
@@ -98,35 +117,37 @@ func E9DFAvsPFA(seed uint64) (*Table, error) {
 		Claim:   "context for [12]: DFA needs few pairs but a precisely placed transient fault; PFA needs one persistent flip and only ciphertexts",
 		Headers: []string{"attack", "fault_model", "data", "unique_key_frac", "requirements"},
 	}
-	const trials = 10
-	rngRoot := stats.NewRNG(seed)
+	const trials = 16
 
-	// DFA: unique-key probability vs pairs per column.
-	for _, perColumn := range []int{1, 2} {
-		var unique stats.Proportion
-		for tr := 0; tr < trials; tr++ {
-			rng := rngRoot.Split()
-			key := make([]byte, 16)
-			rng.Bytes(key)
-			ks, err := aes.Expand(key)
-			if err != nil {
-				return nil, err
-			}
-			sb := aes.SBox()
-			var pairs []dfa.Pair
-			pt := make([]byte, 16)
-			for fb := 0; fb < 4; fb++ {
-				for n := 0; n < perColumn; n++ {
-					rng.Bytes(pt)
-					pairs = append(pairs, dfa.CollectPair(ks, &sb, pt, fb, byte(rng.Intn(255)+1)))
+	// DFA: unique-key probability vs pairs per column.  Each table row runs
+	// its trials on the harness under its own derived seed domain.
+	for ri, perColumn := range []int{1, 2} {
+		pc := perColumn
+		unique, err := harness.Proportion(stats.DeriveSeed(seed, label(9, uint64(ri))), trials,
+			func(_ int, rng *stats.RNG) (bool, error) {
+				key := make([]byte, 16)
+				rng.Bytes(key)
+				ks, err := aes.Expand(key)
+				if err != nil {
+					return false, err
 				}
-			}
-			res, err := dfa.Recover(pairs)
-			ok := err == nil && res.Unique && res.K10 == ks.RoundKey(10)
-			if err != nil && !errors.Is(err, dfa.ErrNeedMorePairs) {
-				return nil, err
-			}
-			unique.Observe(ok)
+				sb := aes.SBox()
+				var pairs []dfa.Pair
+				pt := make([]byte, 16)
+				for fb := 0; fb < 4; fb++ {
+					for n := 0; n < pc; n++ {
+						rng.Bytes(pt)
+						pairs = append(pairs, dfa.CollectPair(ks, &sb, pt, fb, byte(rng.Intn(255)+1)))
+					}
+				}
+				res, err := dfa.Recover(pairs)
+				if err != nil && !errors.Is(err, dfa.ErrNeedMorePairs) {
+					return false, err
+				}
+				return err == nil && res.Unique && res.K10 == ks.RoundKey(10), nil
+			})
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{
 			"DFA", "transient, round-9 byte", fmt.Sprintf("%d pairs", perColumn*4),
@@ -135,27 +156,30 @@ func E9DFAvsPFA(seed uint64) (*Table, error) {
 	}
 
 	// PFA: recovery probability vs ciphertext budget.
-	for _, budget := range []int{1000, 2500} {
-		var okP stats.Proportion
-		for tr := 0; tr < trials; tr++ {
-			rng := rngRoot.Split()
-			key := make([]byte, 16)
-			rng.Bytes(key)
-			ks, _ := aes.Expand(key)
-			faulty := aes.SBox()
-			v := rng.Intn(256)
-			yStar := faulty[v]
-			faulty[v] ^= 1 << uint(rng.Intn(8))
-			col := pfa.NewAESCollector()
-			pt := make([]byte, 16)
-			ct := make([]byte, 16)
-			for n := 0; n < budget; n++ {
-				rng.Bytes(pt)
-				aes.EncryptBlock(ks, &faulty, ct, pt)
-				col.Observe(ct)
-			}
-			_, err := col.RecoverLastRoundKeyKnownFault(yStar)
-			okP.Observe(err == nil)
+	for ri, budget := range []int{1000, 2500} {
+		n := budget
+		okP, err := harness.Proportion(stats.DeriveSeed(seed, label(9, uint64(8+ri))), trials,
+			func(_ int, rng *stats.RNG) (bool, error) {
+				key := make([]byte, 16)
+				rng.Bytes(key)
+				ks, _ := aes.Expand(key)
+				faulty := aes.SBox()
+				v := rng.Intn(256)
+				yStar := faulty[v]
+				faulty[v] ^= 1 << uint(rng.Intn(8))
+				col := pfa.NewAESCollector()
+				pt := make([]byte, 16)
+				ct := make([]byte, 16)
+				for k := 0; k < n; k++ {
+					rng.Bytes(pt)
+					aes.EncryptBlock(ks, &faulty, ct, pt)
+					col.Observe(ct)
+				}
+				_, err := col.RecoverLastRoundKeyKnownFault(yStar)
+				return err == nil, nil
+			})
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{
 			"PFA", "persistent, one S-box bit", fmt.Sprintf("%d ciphertexts", budget),
@@ -177,20 +201,20 @@ func E10PFAPresent(seed uint64) (*Table, error) {
 		Claim:   "title: fault analysis of block cipherS — the persistent-fault route carries over to PRESENT",
 		Headers: []string{"ciphertexts", "avg_entropy_bits", "recovered_frac"},
 	}
-	const trials = 12
+	const trials = 32
 	checkpoints := []int{10, 25, 50, 75, 100, 150, 250, 400}
 
-	entropy := make([]float64, len(checkpoints))
-	recovered := make([]int, len(checkpoints))
-	var toRecover stats.Summary
-
-	for tr := 0; tr < trials; tr++ {
-		rng := stats.NewRNG(seed + uint64(tr)*601)
+	type trial struct {
+		entropy     []float64
+		recoveredAt int
+	}
+	results, err := harness.RunTrials(stats.DeriveSeed(seed, label(10, 0)), trials, func(_ int, rng *stats.RNG) (trial, error) {
+		out := trial{entropy: make([]float64, len(checkpoints)), recoveredAt: -1}
 		key := make([]byte, 10)
 		rng.Bytes(key)
 		ks, err := present.Expand(key)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		faulty := present.SBox()
 		v := rng.Intn(16)
@@ -199,21 +223,35 @@ func E10PFAPresent(seed uint64) (*Table, error) {
 
 		col := pfa.NewPresentCollector()
 		next := 0
-		recoveredAt := -1
 		for n := 1; n <= checkpoints[len(checkpoints)-1]; n++ {
 			col.Observe(present.Encrypt(ks, &faulty, rng.Uint64()))
-			if recoveredAt < 0 {
+			if out.recoveredAt < 0 {
 				if _, err := col.RecoverLastRoundKeyKnownFault(yStar); err == nil {
-					recoveredAt = n
-					toRecover.Observe(float64(n))
+					out.recoveredAt = n
 				}
 			}
 			if next < len(checkpoints) && n == checkpoints[next] {
-				entropy[next] += col.ResidualEntropy()
-				if recoveredAt > 0 && recoveredAt <= n {
-					recovered[next]++
-				}
+				out.entropy[next] = col.ResidualEntropy()
 				next++
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	entropy := make([]float64, len(checkpoints))
+	recovered := make([]int, len(checkpoints))
+	var toRecover stats.Summary
+	for _, tr := range results {
+		if tr.recoveredAt > 0 {
+			toRecover.Observe(float64(tr.recoveredAt))
+		}
+		for i := range checkpoints {
+			entropy[i] += tr.entropy[i]
+			if tr.recoveredAt > 0 && tr.recoveredAt <= checkpoints[i] {
+				recovered[i]++
 			}
 		}
 	}

@@ -94,3 +94,9 @@ func All() []Runner {
 // f2 formats a float with two decimals, f3 with three.
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// label namespaces a stats.DeriveSeed label to one experiment: every
+// experiment derives its sub-seeds as DeriveSeed(seed, label(exp, i)), so
+// two experiments sharing a root seed can never share per-trial RNG streams
+// (E6's baseline scenario must not re-run E13's "no defence" trials).
+func label(exp, i uint64) uint64 { return exp<<16 | i }

@@ -92,6 +92,9 @@ func TestE2Shape(t *testing.T) {
 
 // E3: quiet same-CPU steering must dominate cross-CPU (which must be ~0).
 func TestE3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("9x40-trial steering sweep")
+	}
 	tb, err := E3Steering(1)
 	if err != nil {
 		t.Fatal(err)

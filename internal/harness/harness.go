@@ -1,0 +1,146 @@
+// Package harness is the deterministic parallel trial engine behind the
+// E1–E14 experiment tables and the Monte Carlo sweeps in internal/core.
+//
+// Every experiment in this repository is a loop of independent trials whose
+// statistics regenerate a table from the paper's evaluation.  RunTrials runs
+// that loop on a worker pool while keeping the determinism contract the
+// tables depend on: trial k draws its randomness from stats.NewStream(seed,
+// k), a derivation keyed purely on the root seed and the trial index — never
+// on worker count, scheduling order, or what other trials did.  One seed
+// therefore produces byte-identical tables at any parallelism, which is what
+// makes fault-injection statistics comparable across runs and machines.
+//
+// Results come back ordered by trial index and per-trial failures are
+// aggregated (first error wins for the error value; all are preserved via
+// errors.Join), so callers keep simple sequential-looking aggregation code.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"explframe/internal/stats"
+)
+
+// defaultWorkers is the pool size used when the caller does not specify one;
+// 0 means runtime.GOMAXPROCS(0) at call time.
+var defaultWorkers atomic.Int64
+
+// Workers returns the current default worker count.
+func Workers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers sets the default worker count and returns the previous setting
+// (0 meaning "track GOMAXPROCS").  n <= 0 resets to GOMAXPROCS tracking.
+// CLIs thread their -parallel flag through this knob.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(defaultWorkers.Swap(int64(n)))
+}
+
+// TrialError wraps a failure of one trial with its index.
+type TrialError struct {
+	Trial int
+	Err   error
+}
+
+// Error implements error.
+func (e *TrialError) Error() string { return fmt.Sprintf("trial %d: %v", e.Trial, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *TrialError) Unwrap() error { return e.Err }
+
+// TrialFunc runs one trial.  rng is the trial's private deterministic
+// stream; fn must draw all randomness from it (or from seeds derived from
+// it) and must not share mutable state with other trials.
+type TrialFunc[T any] func(trial int, rng *stats.RNG) (T, error)
+
+// RunTrials executes n independent trials on the default worker pool and
+// returns their results ordered by trial index.  Trial k's rng is
+// stats.NewStream(seed, k), so the result slice is a pure function of
+// (seed, n, fn) — identical at any worker count.
+//
+// If any trial fails, the returned error joins every per-trial failure (as
+// *TrialError, in trial order) and the results of failed trials are the
+// zero value of T; results of successful trials are still returned.
+func RunTrials[T any](seed uint64, n int, fn TrialFunc[T]) ([]T, error) {
+	return RunTrialsWorkers(Workers(), seed, n, fn)
+}
+
+// RunTrialsWorkers is RunTrials with an explicit pool size.  workers <= 0
+// falls back to the default; the pool never exceeds n.
+func RunTrialsWorkers[T any](workers int, seed uint64, n int, fn TrialFunc[T]) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	if workers == 1 {
+		// Serial fast path: no goroutine or scheduling overhead, same
+		// derivation, so it doubles as the reference for determinism tests.
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i, stats.NewStream(seed, uint64(i)))
+		}
+		return results, joinTrialErrors(errs)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = fn(i, stats.NewStream(seed, uint64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	return results, joinTrialErrors(errs)
+}
+
+// joinTrialErrors wraps the non-nil entries as TrialErrors in trial order.
+func joinTrialErrors(errs []error) error {
+	var wrapped []error
+	for i, err := range errs {
+		if err != nil {
+			wrapped = append(wrapped, &TrialError{Trial: i, Err: err})
+		}
+	}
+	return errors.Join(wrapped...)
+}
+
+// Proportion runs n Bernoulli trials and folds the outcomes into a
+// stats.Proportion, the aggregation most experiment tables need.
+func Proportion(seed uint64, n int, fn func(trial int, rng *stats.RNG) (bool, error)) (stats.Proportion, error) {
+	var p stats.Proportion
+	oks, err := RunTrials(seed, n, fn)
+	if err != nil {
+		return p, err
+	}
+	for _, ok := range oks {
+		p.Observe(ok)
+	}
+	return p, nil
+}

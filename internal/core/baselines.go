@@ -44,7 +44,7 @@ type BaselineConfig struct {
 	Kind           BaselineKind
 	AttackerMemory uint64
 	CPU            int
-	VictimKind     trace.CipherKind
+	VictimCipher   string
 	VictimKey      []byte
 	VictimPages    int
 }
@@ -59,7 +59,7 @@ func DefaultBaselineConfig(kind BaselineKind) BaselineConfig {
 		Kind:           kind,
 		AttackerMemory: ac.AttackerMemory,
 		CPU:            0,
-		VictimKind:     ac.VictimKind,
+		VictimCipher:   ac.VictimCipher,
 		VictimKey:      ac.VictimKey,
 		VictimPages:    ac.VictimRequestPages,
 	}
@@ -105,7 +105,7 @@ func RunBaselineTrial(cfg BaselineConfig) (*BaselineResult, error) {
 	}
 
 	// Victim first: its table page lands wherever the allocator puts it.
-	victim, err := trace.SpawnVictim(m, cfg.CPU, cfg.VictimKind, cfg.VictimKey, cfg.VictimPages, 0)
+	victim, err := trace.SpawnVictim(m, cfg.CPU, cfg.VictimCipher, cfg.VictimKey, cfg.VictimPages, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -21,10 +21,10 @@
 package core
 
 import (
+	"explframe/internal/cipher/registry"
 	"explframe/internal/dram"
 	"explframe/internal/kernel"
 	"explframe/internal/rowhammer"
-	"explframe/internal/trace"
 )
 
 // Config parameterises one attack run.
@@ -49,9 +49,11 @@ type Config struct {
 	AttackerCPU int
 	VictimCPU   int
 
-	// VictimKind selects the victim cipher, VictimKey its key.
-	VictimKind trace.CipherKind
-	VictimKey  []byte
+	// VictimCipher names the victim cipher (any name or alias registered in
+	// internal/cipher/registry, e.g. "aes-128", "present-80",
+	// "lilliput-80"); VictimKey is its key.
+	VictimCipher string
+	VictimKey    []byte
 
 	// VictimRequestPages is the size of the victim's single mmap request.
 	// Small requests are served from the page frame cache (Section V:
@@ -105,7 +107,7 @@ func DefaultConfig() Config {
 		AttackerMemory:     32 << 20,
 		AttackerCPU:        0,
 		VictimCPU:          0,
-		VictimKind:         trace.AES128,
+		VictimCipher:       "aes-128",
 		VictimKey:          []byte("explframe-victim"),
 		VictimRequestPages: 4,
 		VictimTableOffset:  0,
@@ -113,4 +115,15 @@ func DefaultConfig() Config {
 		NoiseOps:           0,
 		Ciphertexts:        12000,
 	}
+}
+
+// DefaultVictimKey returns a deterministic demo key of the right length for
+// the given cipher (DefaultConfig's AES key pattern, sized to KeyBytes).
+func DefaultVictimKey(c registry.Cipher) []byte {
+	pattern := []byte("explframe-victim")
+	key := make([]byte, c.KeyBytes())
+	for i := range key {
+		key[i] = pattern[i%len(pattern)]
+	}
+	return key
 }

@@ -7,7 +7,6 @@ import (
 	"explframe/internal/dram"
 	"explframe/internal/kernel"
 	"explframe/internal/rowhammer"
-	"explframe/internal/trace"
 )
 
 // fastConfig returns an attack configuration tuned for test speed: a small
@@ -325,7 +324,7 @@ func TestEndToEndPresent(t *testing.T) {
 	var succeeded bool
 	for seed := uint64(1); seed <= 8 && !succeeded; seed++ {
 		cfg := fastConfig(seed)
-		cfg.VictimKind = trace.PRESENT80
+		cfg.VictimCipher = "present-80"
 		cfg.VictimKey = key
 		cfg.Ciphertexts = 3000
 		atk, err := NewAttack(cfg)
@@ -345,5 +344,48 @@ func TestEndToEndPresent(t *testing.T) {
 	}
 	if !succeeded {
 		t.Fatal("PRESENT attack never succeeded in 8 seeds")
+	}
+}
+
+// End-to-end run against the registry's third victim: the LILLIPUT-style
+// cipher shares PRESENT's 16-byte table, so the same rare-usable-flip
+// caveat applies.
+func TestEndToEndLilliput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long LILLIPUT sweep")
+	}
+	key := []byte{11, 12, 13, 14, 15, 16, 17, 18, 19, 20}
+	var succeeded bool
+	for seed := uint64(1); seed <= 8 && !succeeded; seed++ {
+		cfg := fastConfig(seed)
+		cfg.VictimCipher = "lilliput-80"
+		cfg.VictimKey = key
+		cfg.Ciphertexts = 3000
+		atk, err := NewAttack(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := atk.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Success() {
+			succeeded = true
+			if !bytes.Equal(rep.RecoveredKey, key) {
+				t.Fatalf("recovered %x want %x", rep.RecoveredKey, key)
+			}
+		}
+	}
+	if !succeeded {
+		t.Fatal("LILLIPUT attack never succeeded in 8 seeds")
+	}
+}
+
+// An unregistered victim cipher must be rejected at construction.
+func TestNewAttackRejectsUnknownCipher(t *testing.T) {
+	cfg := fastConfig(1)
+	cfg.VictimCipher = "rot13"
+	if _, err := NewAttack(cfg); err == nil {
+		t.Fatal("unknown cipher accepted")
 	}
 }

@@ -9,15 +9,17 @@ import (
 
 // One seed must produce byte-identical rendered tables no matter how many
 // workers the harness runs — the determinism contract that makes the
-// regenerated fault statistics comparable across machines and runs.  The
-// experiments chosen here cover the three trial kinds the harness drives:
-// allocator self-reuse (E2), steering sweeps (E14) and crypto-only PFA
-// trials (E10).
+// regenerated fault statistics comparable across machines and runs (and
+// that makes the golden tables under testdata/golden machine-independent).
+// The experiments chosen here cover the trial kinds the harness drives:
+// allocator self-reuse (E2), steering sweeps (E14), crypto-only PFA trials
+// (E10) and the registry-wide PFA sweep (E15).
 func TestTablesWorkerCountInvariant(t *testing.T) {
 	runners := map[string]func(uint64) (*Table, error){
 		"E2":  E2SelfReuse,
 		"E10": E10PFAPresent,
 		"E14": E14PCPPolicy,
+		"E15": E15PFAAllCiphers,
 	}
 	if testing.Short() {
 		runners = map[string]func(uint64) (*Table, error){"E10": E10PFAPresent}

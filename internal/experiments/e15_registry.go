@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"explframe/internal/cipher/registry"
+	"explframe/internal/fault/pfa"
+	"explframe/internal/harness"
+	"explframe/internal/stats"
+)
+
+// E15PFAAllCiphers runs the persistent-fault key-recovery attack over every
+// cipher in the registry with one generic analysis loop — the paper title's
+// "block cipherS" generality made concrete and regression-testable.  Each
+// row is one victim: random keys, one random single-bit S-box fault per
+// trial, recovery via the cipher-agnostic collector, and master-key
+// completion (schedule inversion, plus one clean known pair where the
+// schedule needs it) verified against the true key.
+func E15PFAAllCiphers(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:      "E15",
+		Title:   "PFA across the cipher registry (one generic collector, every victim)",
+		Claim:   "title: fault analysis of block cipherS — the persistent-fault pipeline runs on any registered SPN via its S-box/round metadata alone",
+		Headers: []string{"cipher", "table", "cells", "recovered_frac", "master_ok_frac", "cts_mean", "cts_p50", "cts_max"},
+	}
+	const trials = 16
+
+	for _, name := range registry.Names() {
+		c := registry.MustGet(name)
+		// Coupon-collector budget scales with the cell alphabet: every value
+		// of a cell must be observed except the vanished one.
+		budget := 25 * (1 << uint(c.EntryBits()))
+
+		type trial struct {
+			recoveredAt int
+			masterOK    bool
+		}
+		// The per-cipher seed domain keys on the cipher *name*, not its
+		// index in the sorted registry: registering a new cipher must add a
+		// row without re-randomizing the existing rows' trial streams (and
+		// their golden numbers).
+		results, err := harness.RunTrials(stats.DeriveSeed(stats.DeriveSeed(seed, label(15, 0)), fnv1a(name)), trials,
+			func(_ int, rng *stats.RNG) (trial, error) {
+				out := trial{recoveredAt: -1}
+				key := make([]byte, c.KeyBytes())
+				rng.Bytes(key)
+				inst, err := c.New(key)
+				if err != nil {
+					return out, err
+				}
+				// Clean pair, captured before the fault lands.
+				cleanPT := make([]byte, c.BlockSize())
+				rng.Bytes(cleanPT)
+				cleanCT := make([]byte, c.BlockSize())
+				inst.Encrypt(c.SBox(), cleanCT, cleanPT)
+
+				faulty := c.SBox()
+				v := rng.Intn(c.TableLen())
+				yStar := faulty[v]
+				faulty[v] ^= byte(1 << uint(rng.Intn(c.EntryBits())))
+
+				col := pfa.NewCollector(c)
+				pt := make([]byte, c.BlockSize())
+				ct := make([]byte, c.BlockSize())
+				for n := 1; n <= budget; n++ {
+					rng.Bytes(pt)
+					inst.Encrypt(faulty, ct, pt)
+					if err := col.Observe(ct); err != nil {
+						return out, err
+					}
+					if _, err := col.RecoverLastRoundKeyKnownFault(yStar); err == nil {
+						out.recoveredAt = n
+						master, err := col.RecoverMasterKnownFault(yStar, cleanPT, cleanCT)
+						out.masterOK = err == nil && bytes.Equal(master, key)
+						break
+					}
+				}
+				return out, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+
+		var recovered, masterOK stats.Proportion
+		var cts stats.Summary
+		for _, tr := range results {
+			recovered.Observe(tr.recoveredAt > 0)
+			masterOK.Observe(tr.masterOK)
+			if tr.recoveredAt > 0 {
+				cts.Observe(float64(tr.recoveredAt))
+			}
+		}
+		mean, p50, max := "-", "-", "-"
+		if cts.N() > 0 {
+			mean = fmt.Sprintf("%.0f", cts.Mean())
+			p50 = fmt.Sprintf("%.0f", cts.Quantile(0.5))
+			max = fmt.Sprintf("%.0f", cts.Max())
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%dx%db", c.TableLen(), c.EntryBits()),
+			fmt.Sprint(registry.Cells(c)),
+			f2(recovered.Rate()),
+			f2(masterOK.Rate()),
+			mean, p50, max,
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d trials per cipher, random keys, random single-bit faults, known-fault recovery, budget 25x alphabet", trials),
+		"one pfa.Collector drives every row: LastRoundCells/AssembleLastRoundKey/RecoverMaster come from the registry",
+		"4-bit tables converge ~40x faster than AES's 8-bit table (coupon collector over 16 vs 256 values)")
+	return t, nil
+}
+
+// fnv1a hashes a cipher name to a stable 64-bit seed label.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

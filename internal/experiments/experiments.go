@@ -1,7 +1,8 @@
-// Package experiments contains one driver per experiment in DESIGN.md's
-// reconstructed evaluation (E1..E12).  Each driver returns a Table that
+// Package experiments contains one driver per experiment in the
+// reconstructed evaluation (E1–E15).  Each driver returns a Table that
 // cmd/benchtab renders and bench_test.go wraps in testing.B benchmarks, so
-// the paper's tables and figures regenerate from a single code path.
+// the paper's tables and figures regenerate from a single code path; the
+// golden tests under testdata/golden pin every table's seed-1 output.
 package experiments
 
 import (
@@ -88,6 +89,7 @@ func All() []Runner {
 		{"E12", "zone fallback under pressure", E12Zones},
 		{"E13", "defences: TRR, many-sided, ECC", E13Defences},
 		{"E14", "ablation: pcp LIFO vs FIFO", E14PCPPolicy},
+		{"E15", "PFA across the cipher registry", E15PFAAllCiphers},
 	}
 }
 

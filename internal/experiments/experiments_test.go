@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -16,17 +17,24 @@ func parseF(t *testing.T, s string) float64 {
 	return v
 }
 
+// All() must return every experiment exactly once, in order: IDs are
+// "E1".."E15" with no gaps, duplicates or shuffles, and each runner is
+// complete.  (The golden tests additionally assert each returned table
+// carries its runner's ID.)
 func TestAllRegistered(t *testing.T) {
 	runners := All()
-	if len(runners) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(runners))
+	if len(runners) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(runners))
 	}
 	seen := map[string]bool{}
-	for _, r := range runners {
+	for i, r := range runners {
 		if seen[r.ID] {
 			t.Fatalf("duplicate experiment id %s", r.ID)
 		}
 		seen[r.ID] = true
+		if want := fmt.Sprintf("E%d", i+1); r.ID != want {
+			t.Fatalf("runner %d has id %s, want %s (IDs must be ordered)", i, r.ID, want)
+		}
 		if r.Run == nil || r.Name == "" {
 			t.Fatalf("incomplete runner %+v", r)
 		}

@@ -1,0 +1,406 @@
+package pfa
+
+import (
+	"fmt"
+
+	"explframe/internal/cipher/registry"
+	"explframe/internal/stats"
+)
+
+// Collector is the cipher-agnostic persistent-fault collector: it
+// accumulates faulty ciphertexts of any registered cipher and recovers keys
+// from the missing-value and frequency statistics of the cipher's
+// last-round cells.
+//
+// The analysis only uses registry.Cipher metadata: LastRoundCells inverts
+// the final linear layer, so cell i of every observation equals
+// S(x_i) ^ k_i over the cipher's EntryBits-wide alphabet.  A single
+// corrupted table entry removes one value y* = S_orig[v*] from the S-box
+// image, so the value y* ^ k_i vanishes from cell i — and the corrupted
+// entry's new value y' appears with doubled probability.  Everything else
+// (alphabet size, cell count, last-round key assembly, master-key
+// completion) comes from the interface, which is what lets one collector
+// serve AES-128, PRESENT-80 and the LILLIPUT-style victim alike.
+type Collector struct {
+	c       registry.Cipher
+	cells   int
+	vals    int
+	mask    byte
+	seen    [][]bool
+	count   [][]uint64
+	n       uint64
+	cellBuf []byte // scratch for LastRoundCells, keeps Observe allocation-free
+}
+
+// NewCollector returns an empty collector for the given cipher.
+func NewCollector(c registry.Cipher) *Collector {
+	cells := registry.Cells(c)
+	vals := 1 << uint(c.EntryBits())
+	col := &Collector{c: c, cells: cells, vals: vals, mask: byte(vals - 1), cellBuf: make([]byte, cells)}
+	col.seen = make([][]bool, cells)
+	col.count = make([][]uint64, cells)
+	for i := range col.seen {
+		col.seen[i] = make([]bool, vals)
+		col.count[i] = make([]uint64, vals)
+	}
+	return col
+}
+
+// Cipher returns the cipher this collector attacks.
+func (c *Collector) Cipher() registry.Cipher { return c.c }
+
+// Observe records one ciphertext block.
+func (c *Collector) Observe(ct []byte) error {
+	if len(ct) != c.c.BlockSize() {
+		return fmt.Errorf("pfa: %s ciphertext must be %d bytes, got %d", c.c.Name(), c.c.BlockSize(), len(ct))
+	}
+	c.c.LastRoundCells(c.cellBuf, ct)
+	for i, cell := range c.cellBuf {
+		c.seen[i][cell] = true
+		c.count[i][cell]++
+	}
+	c.n++
+	return nil
+}
+
+// N returns the number of observed ciphertexts.
+func (c *Collector) N() uint64 { return c.n }
+
+// Cells returns the number of last-round cell positions.
+func (c *Collector) Cells() int { return c.cells }
+
+// Missing returns the values never observed at cell position i.
+func (c *Collector) Missing(i int) []byte {
+	var out []byte
+	for v := 0; v < c.vals; v++ {
+		if !c.seen[i][v] {
+			out = append(out, byte(v))
+		}
+	}
+	return out
+}
+
+// MostFrequent returns the value observed most often at cell i and its
+// count.  Under a single-entry fault it converges to y' ^ k_i.
+func (c *Collector) MostFrequent(i int) (byte, uint64) {
+	var best byte
+	var bestN uint64
+	for v := 0; v < c.vals; v++ {
+		if c.count[i][v] > bestN {
+			bestN = c.count[i][v]
+			best = byte(v)
+		}
+	}
+	return best, bestN
+}
+
+// ResidualEntropy returns the log2 of the remaining last-round-key space
+// given the current observations: the product over cells of the number of
+// still-possible key values (= missing values).  It reaches 0 when every
+// cell has exactly one missing value.
+func (c *Collector) ResidualEntropy() float64 {
+	e := 0.0
+	for i := 0; i < c.cells; i++ {
+		e += stats.Log2(float64(len(c.Missing(i))))
+	}
+	return e
+}
+
+// missingCells returns the unique missing value of every cell, erroring
+// while any cell is under- or over-determined.
+func (c *Collector) missingCells() ([]byte, error) {
+	miss := make([]byte, c.cells)
+	for i := 0; i < c.cells; i++ {
+		m := c.Missing(i)
+		switch {
+		case len(m) == 0:
+			return nil, fmt.Errorf("%w: cell %d has no missing value", ErrInconsistent, i)
+		case len(m) > 1:
+			return nil, fmt.Errorf("%w: cell %d has %d candidates", ErrUnderdetermined, i, len(m))
+		}
+		miss[i] = m[0]
+	}
+	return miss, nil
+}
+
+// RecoverLastRoundKeyKnownFault recovers the last-round key when the
+// attacker knows which S-box output value vanished (y*).  The ExplFrame
+// attacker is in this position: templating told them exactly which bit of
+// which byte flips, and the victim's table layout is public.
+func (c *Collector) RecoverLastRoundKeyKnownFault(yStar byte) ([]byte, error) {
+	miss, err := c.missingCells()
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]byte, c.cells)
+	for i, m := range miss {
+		cells[i] = m ^ (yStar & c.mask)
+	}
+	return c.c.AssembleLastRoundKey(cells), nil
+}
+
+// RecoverMasterKnownFault completes the known-fault attack: last-round key
+// via missing values, then the cipher's schedule completion.  The clean
+// known pair resolves schedules the last round key does not determine and
+// verifies the rest; ciphers whose schedule inverts uniquely accept a nil
+// pair.
+func (c *Collector) RecoverMasterKnownFault(yStar byte, plaintext, ciphertext []byte) ([]byte, error) {
+	last, err := c.RecoverLastRoundKeyKnownFault(yStar)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := c.c.RecoverMaster(last, plaintext, ciphertext)
+	if !ok {
+		return nil, fmt.Errorf("%w: schedule completion found no key matching the known pair", ErrInconsistent)
+	}
+	return m, nil
+}
+
+// RecoverMasterUnknownFault tries every possible vanished value, resolving
+// each hypothesis against the clean known pair.
+func (c *Collector) RecoverMasterUnknownFault(plaintext, ciphertext []byte) ([]byte, error) {
+	miss, err := c.missingCells()
+	if err != nil {
+		return nil, err // underdetermined: more data, not more guesses
+	}
+	cells := make([]byte, c.cells)
+	for y := 0; y < c.vals; y++ {
+		for i, m := range miss {
+			cells[i] = m ^ byte(y)
+		}
+		if master, ok := c.c.RecoverMaster(c.c.AssembleLastRoundKey(cells), plaintext, ciphertext); ok {
+			return master, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no vanished-value hypothesis matches the known pair", ErrInconsistent)
+}
+
+// RecoverLastRoundKeyML recovers the last-round key by maximum likelihood:
+// under a single-entry fault S[v*] = y', the value y' ^ k_i appears with
+// doubled probability at every cell, so the most frequent value reveals the
+// key cell once the count gap is statistically significant.  yPrime is the
+// corrupted entry's new value (the ExplFrame attacker knows it: y* with the
+// templated bit flipped).  The estimate is returned together with its
+// weakest cell's z-score; callers gate on confidence.
+func (c *Collector) RecoverLastRoundKeyML(yPrime byte) (key []byte, minZ float64) {
+	cells := make([]byte, c.cells)
+	minZ = 1e18
+	for i := 0; i < c.cells; i++ {
+		var best, second uint64
+		var bestV byte
+		for v := 0; v < c.vals; v++ {
+			n := c.count[i][v]
+			if n > best {
+				second = best
+				best = n
+				bestV = byte(v)
+			} else if n > second {
+				second = n
+			}
+		}
+		cells[i] = bestV ^ (yPrime & c.mask)
+		// z-score of the gap between the doubled value and the runner-up
+		// under a Poisson approximation.
+		var z float64
+		if best > 0 {
+			diff := float64(best) - float64(second)
+			sd := sqrt(float64(best) + float64(second))
+			if sd > 0 {
+				z = diff / sd
+			}
+		}
+		if z < minZ {
+			minZ = z
+		}
+	}
+	return c.c.AssembleLastRoundKey(cells), minZ
+}
+
+// sqrt is a dependency-light Newton square root (avoids importing math for
+// one call site; the iteration converges in <8 steps for count-scale input).
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 16; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// MultiFaultCandidates generalises the elimination attack to a table
+// carrying several corrupted entries: yStars lists every vanished output
+// value.  With m faults each cell misses exactly {y*_j ^ k_i}, which any of
+// the m candidates {miss ^ y*_j} explains equally well — elimination alone
+// therefore leaves m consistent candidates per cell.  The returned
+// per-cell candidate sets feed the frequency-based disambiguation in
+// RecoverLastRoundKeyMultiFault.
+func (c *Collector) MultiFaultCandidates(yStars []byte) ([][]byte, error) {
+	if len(yStars) == 0 {
+		return nil, fmt.Errorf("%w: no fault values given", ErrInconsistent)
+	}
+	cands := make([][]byte, c.cells)
+	for i := 0; i < c.cells; i++ {
+		miss := c.Missing(i)
+		if len(miss) < len(yStars) {
+			return cands, fmt.Errorf("%w: cell %d misses %d values, expected %d",
+				ErrInconsistent, i, len(miss), len(yStars))
+		}
+		if len(miss) > len(yStars) {
+			return cands, fmt.Errorf("%w: cell %d has %d missing values for %d faults",
+				ErrUnderdetermined, i, len(miss), len(yStars))
+		}
+		missSet := make(map[byte]bool, len(miss))
+		for _, m := range miss {
+			missSet[m] = true
+		}
+		seen := make(map[byte]bool)
+		for _, m := range miss {
+			for _, y := range yStars {
+				k := m ^ (y & c.mask)
+				if seen[k] {
+					continue
+				}
+				consistent := true
+				for _, yy := range yStars {
+					if !missSet[(yy&c.mask)^k] {
+						consistent = false
+						break
+					}
+				}
+				if consistent {
+					seen[k] = true
+					cands[i] = append(cands[i], k)
+				}
+			}
+		}
+		if len(cands[i]) == 0 {
+			return cands, fmt.Errorf("%w: cell %d matches no key", ErrInconsistent, i)
+		}
+	}
+	return cands, nil
+}
+
+// multiFaultScore sums the frequency counts the corrupted entries' new
+// values y'_j would produce at cell i under key cell k.
+func (c *Collector) multiFaultScore(i int, k byte, yPrimes []byte) uint64 {
+	var s uint64
+	for _, y := range yPrimes {
+		s += c.count[i][(y&c.mask)^k]
+	}
+	return s
+}
+
+// RecoverLastRoundKeyMultiFault resolves the multi-fault candidate sets
+// with frequency information: the corrupted entries now emit the values
+// y'_j, so {y'_j ^ k_i} carry roughly doubled counts at every cell.
+// yPrimes[j] must be the corrupted value of the entry whose original output
+// was yStars[j] (the ExplFrame attacker knows both from templating).
+func (c *Collector) RecoverLastRoundKeyMultiFault(yStars, yPrimes []byte) ([]byte, error) {
+	if len(yStars) != len(yPrimes) {
+		return nil, fmt.Errorf("%w: %d vanished values but %d corrupted values",
+			ErrInconsistent, len(yStars), len(yPrimes))
+	}
+	cands, err := c.MultiFaultCandidates(yStars)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]byte, c.cells)
+	for i := 0; i < c.cells; i++ {
+		var bestK byte
+		var bestScore uint64
+		tie := false
+		for _, k := range cands[i] {
+			score := c.multiFaultScore(i, k, yPrimes)
+			switch {
+			case score > bestScore:
+				bestScore, bestK, tie = score, k, false
+			case score == bestScore:
+				tie = true
+			}
+		}
+		if tie && len(cands[i]) > 1 {
+			return nil, fmt.Errorf("%w: cell %d frequency tie", ErrUnderdetermined, i)
+		}
+		cells[i] = bestK
+	}
+	return c.c.AssembleLastRoundKey(cells), nil
+}
+
+// RecoverMasterMultiFaultWithPair completes the multi-fault attack against
+// a degenerate case frequency scoring cannot break: when every fault flips
+// the same bit index, the per-cell ciphertext distributions are identical
+// under the m candidate keys and only the key schedule can disambiguate.
+// The function enumerates the per-cell candidates (frequency-ordered, so
+// the common non-degenerate case exits on the first combination) and checks
+// each schedule completion against one clean known pair.
+//
+// Enumeration is budgeted at ~2^20 schedule inversions via the cipher's
+// RecoverCost: AES-128's cheap unique inversion affords the full 2^20
+// combinations, while the 80-bit ciphers' 2^16-deep completions fall back
+// to verifying only the frequency-best key (their degenerate same-bit case
+// stays underdetermined, which the caller reports).
+func (c *Collector) RecoverMasterMultiFaultWithPair(yStars, yPrimes, plaintext, ciphertext []byte) ([]byte, error) {
+	if len(yStars) != len(yPrimes) {
+		return nil, fmt.Errorf("%w: %d vanished values but %d corrupted values",
+			ErrInconsistent, len(yStars), len(yPrimes))
+	}
+	cands, err := c.MultiFaultCandidates(yStars)
+	if err != nil {
+		return nil, err
+	}
+	// Order each cell's candidates by descending frequency score.
+	budget := 1 << 20 / c.c.RecoverCost()
+	if budget < 1 {
+		budget = 1
+	}
+	total := 1
+	affordable := true
+	for i := 0; i < c.cells; i++ {
+		list := cands[i]
+		for a := 1; a < len(list); a++ {
+			for b := a; b > 0 && c.multiFaultScore(i, list[b], yPrimes) > c.multiFaultScore(i, list[b-1], yPrimes); b-- {
+				list[b], list[b-1] = list[b-1], list[b]
+			}
+		}
+		if total *= len(list); total > budget {
+			affordable = false
+			total = budget + 1 // clamp so the product cannot overflow
+		}
+	}
+	if !affordable {
+		last, err := c.RecoverLastRoundKeyMultiFault(yStars, yPrimes)
+		if err != nil {
+			return nil, err
+		}
+		master, ok := c.c.RecoverMaster(last, plaintext, ciphertext)
+		if !ok {
+			return nil, fmt.Errorf("%w: frequency-ranked key fails the known pair (search cap reached)", ErrUnderdetermined)
+		}
+		return master, nil
+	}
+	idx := make([]int, c.cells)
+	cells := make([]byte, c.cells)
+	for {
+		for i := range cells {
+			cells[i] = cands[i][idx[i]]
+		}
+		if master, ok := c.c.RecoverMaster(c.c.AssembleLastRoundKey(cells), plaintext, ciphertext); ok {
+			return master, nil
+		}
+		// Odometer increment over the candidate lists.
+		pos := 0
+		for pos < c.cells {
+			idx[pos]++
+			if idx[pos] < len(cands[pos]) {
+				break
+			}
+			idx[pos] = 0
+			pos++
+		}
+		if pos == c.cells {
+			return nil, fmt.Errorf("%w: no combination matches the known pair", ErrInconsistent)
+		}
+	}
+}

@@ -1,119 +1,79 @@
 // Package pfa implements Persistent Fault Analysis (Zhang et al., TCHES
-// 2018 — reference [12] of the paper) for AES and PRESENT: offline key
-// recovery from ciphertexts produced by a cipher whose S-box table carries a
-// persistent single-entry fault, exactly the state a Rowhammer flip in the
-// victim's table page leaves behind.
+// 2018 — reference [12] of the paper): offline key recovery from
+// ciphertexts produced by a cipher whose S-box table carries a persistent
+// fault, exactly the state a Rowhammer flip in the victim's table page
+// leaves behind.
 //
-// The core observation for AES: the final round computes
+// The core observation, for any SPN whose final round computes
+// ct = L(S(x)) ^ K with a GF(2)-linear L: inverting L cell-wise gives
 //
-//	c[i] = S[state[shift(i)]] ^ k10[i]
+//	cell_i(invL(ct)) = S(x_i) ^ k_i
 //
 // If S-box entry v* is corrupted from y* = S_orig[v*] to some y' != y*, the
-// value y* vanishes from the S-box image, so ciphertext byte i never takes
-// the value y* ^ k10[i]; conversely y' appears with doubled probability.
-// Observing enough ciphertexts, the missing value at each byte position
-// reveals the corresponding last-round key byte.
+// value y* vanishes from the S-box image, so cell i never takes the value
+// y* ^ k_i; conversely y' appears with doubled probability.  Observing
+// enough ciphertexts, the missing value at each cell reveals the
+// corresponding last-round key cell.
+//
+// The Collector runs this analysis over any cipher registered in
+// internal/cipher/registry; AESCollector and PresentCollector are
+// compatibility wrappers that pin the cipher and keep the historical
+// fixed-size signatures.
 package pfa
 
 import (
 	"errors"
-	"fmt"
 
-	"explframe/internal/cipher/aes"
-	"explframe/internal/stats"
+	"explframe/internal/cipher/registry"
 )
-
-// AESCollector accumulates faulty AES ciphertexts and exposes the
-// missing-value and frequency statistics the attack needs.
-type AESCollector struct {
-	seen  [16][256]bool
-	count [16][256]uint64
-	n     uint64
-}
-
-// NewAESCollector returns an empty collector.
-func NewAESCollector() *AESCollector { return &AESCollector{} }
-
-// Observe records one 16-byte ciphertext.
-func (c *AESCollector) Observe(ct []byte) error {
-	if len(ct) != aes.BlockSize {
-		return fmt.Errorf("pfa: ciphertext must be %d bytes, got %d", aes.BlockSize, len(ct))
-	}
-	for i, b := range ct {
-		c.seen[i][b] = true
-		c.count[i][b]++
-	}
-	c.n++
-	return nil
-}
-
-// N returns the number of observed ciphertexts.
-func (c *AESCollector) N() uint64 { return c.n }
-
-// Missing returns the values never observed at byte position i.
-func (c *AESCollector) Missing(i int) []byte {
-	var out []byte
-	for v := 0; v < 256; v++ {
-		if !c.seen[i][v] {
-			out = append(out, byte(v))
-		}
-	}
-	return out
-}
-
-// MostFrequent returns the value observed most often at position i and its
-// count.  Under a single-entry fault it converges to y' ^ k10[i].
-func (c *AESCollector) MostFrequent(i int) (byte, uint64) {
-	var best byte
-	var bestN uint64
-	for v := 0; v < 256; v++ {
-		if c.count[i][v] > bestN {
-			bestN = c.count[i][v]
-			best = byte(v)
-		}
-	}
-	return best, bestN
-}
-
-// ResidualEntropy returns the log2 of the remaining key-space size for the
-// last round key given the current observations: the product over positions
-// of the number of still-possible key bytes (= missing values).  It reaches
-// 0 when every position has exactly one missing value.
-func (c *AESCollector) ResidualEntropy() float64 {
-	e := 0.0
-	for i := 0; i < 16; i++ {
-		e += stats.Log2(float64(len(c.Missing(i))))
-	}
-	return e
-}
 
 // Errors returned by the recovery functions.
 var (
-	// ErrUnderdetermined reports that some byte position still has more
+	// ErrUnderdetermined reports that some cell position still has more
 	// than one missing value: more ciphertexts are needed.
 	ErrUnderdetermined = errors.New("pfa: key underdetermined, need more ciphertexts")
-	// ErrInconsistent reports observations incompatible with a single
+	// ErrInconsistent reports observations incompatible with the assumed
 	// persistent S-box fault (e.g. no missing value at some position).
-	ErrInconsistent = errors.New("pfa: observations inconsistent with a single-entry fault")
+	ErrInconsistent = errors.New("pfa: observations inconsistent with the fault hypothesis")
 )
 
+// AESCollector accumulates faulty AES ciphertexts; it is the generic
+// Collector specialised to AES-128 with [16]byte key signatures.
+type AESCollector struct {
+	g *Collector
+}
+
+// NewAESCollector returns an empty collector.
+func NewAESCollector() *AESCollector {
+	return &AESCollector{g: NewCollector(registry.MustGet("aes-128"))}
+}
+
+// Observe records one 16-byte ciphertext.
+func (c *AESCollector) Observe(ct []byte) error { return c.g.Observe(ct) }
+
+// N returns the number of observed ciphertexts.
+func (c *AESCollector) N() uint64 { return c.g.N() }
+
+// Missing returns the values never observed at byte position i.
+func (c *AESCollector) Missing(i int) []byte { return c.g.Missing(i) }
+
+// MostFrequent returns the value observed most often at position i and its
+// count.  Under a single-entry fault it converges to y' ^ k10[i].
+func (c *AESCollector) MostFrequent(i int) (byte, uint64) { return c.g.MostFrequent(i) }
+
+// ResidualEntropy returns the log2 of the remaining key-space size for the
+// last round key given the current observations.
+func (c *AESCollector) ResidualEntropy() float64 { return c.g.ResidualEntropy() }
+
 // RecoverLastRoundKeyKnownFault recovers the AES last-round key when the
-// attacker knows which S-box output value vanished (y*).  The ExplFrame
-// attacker is in this position: templating told them exactly which bit of
-// which byte flips, and the victim's table layout is public, so
-// y* = S_orig[v*] is known.
+// attacker knows which S-box output value vanished (y*).
 func (c *AESCollector) RecoverLastRoundKeyKnownFault(yStar byte) ([16]byte, error) {
 	var key [16]byte
-	for i := 0; i < 16; i++ {
-		miss := c.Missing(i)
-		switch {
-		case len(miss) == 0:
-			return key, fmt.Errorf("%w: position %d has no missing value", ErrInconsistent, i)
-		case len(miss) > 1:
-			return key, fmt.Errorf("%w: position %d has %d candidates", ErrUnderdetermined, i, len(miss))
-		}
-		key[i] = miss[0] ^ yStar
+	last, err := c.g.RecoverLastRoundKeyKnownFault(yStar)
+	if err != nil {
+		return key, err
 	}
+	copy(key[:], last)
 	return key, nil
 }
 
@@ -122,16 +82,9 @@ func (c *AESCollector) RecoverLastRoundKeyKnownFault(yStar byte) ([16]byte, erro
 // caller disambiguates with a known plaintext/ciphertext pair or the key
 // schedule.  An error is returned while any position is underdetermined.
 func (c *AESCollector) CandidateKeysUnknownFault() ([][16]byte, error) {
-	var miss [16]byte
-	for i := 0; i < 16; i++ {
-		m := c.Missing(i)
-		switch {
-		case len(m) == 0:
-			return nil, fmt.Errorf("%w: position %d has no missing value", ErrInconsistent, i)
-		case len(m) > 1:
-			return nil, fmt.Errorf("%w: position %d has %d candidates", ErrUnderdetermined, i, len(m))
-		}
-		miss[i] = m[0]
+	miss, err := c.g.missingCells()
+	if err != nil {
+		return nil, err
 	}
 	keys := make([][16]byte, 256)
 	for y := 0; y < 256; y++ {
@@ -142,265 +95,69 @@ func (c *AESCollector) CandidateKeysUnknownFault() ([][16]byte, error) {
 	return keys, nil
 }
 
-// RecoverLastRoundKeyML recovers the last round key by maximum likelihood:
-// under a single-entry fault S[v*] = y', the value y' ^ k10[i] appears with
-// doubled probability at every position, so the most frequent value reveals
-// the key byte once the count gap is statistically significant.  yPrime is
-// the corrupted entry's new value (the ExplFrame attacker knows it: y* with
-// the templated bit flipped).  The estimate is returned together with its
-// weakest position's z-score; callers gate on confidence.
+// RecoverLastRoundKeyML recovers the last round key by maximum likelihood
+// from the corrupted entry's new value yPrime; see Collector.
 func (c *AESCollector) RecoverLastRoundKeyML(yPrime byte) (key [16]byte, minZ float64) {
-	minZ = 1e18
-	for i := 0; i < 16; i++ {
-		var best, second uint64
-		var bestV byte
-		for v := 0; v < 256; v++ {
-			n := c.count[i][v]
-			if n > best {
-				second = best
-				best = n
-				bestV = byte(v)
-			} else if n > second {
-				second = n
-			}
-		}
-		key[i] = bestV ^ yPrime
-		// z-score of the gap between the doubled value and the runner-up
-		// under a Poisson approximation.
-		var z float64
-		if best > 0 {
-			diff := float64(best) - float64(second)
-			sd := sqrt(float64(best) + float64(second))
-			if sd > 0 {
-				z = diff / sd
-			}
-		}
-		if z < minZ {
-			minZ = z
-		}
-	}
+	last, minZ := c.g.RecoverLastRoundKeyML(yPrime)
+	copy(key[:], last)
 	return key, minZ
 }
 
-// sqrt is a dependency-light Newton square root (avoids importing math for
-// one call site; the iteration converges in <8 steps for count-scale input).
-func sqrt(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	z := x
-	for i := 0; i < 16; i++ {
-		z = (z + x/z) / 2
-	}
-	return z
-}
-
 // MultiFaultCandidates generalises the elimination attack to a table
-// carrying several corrupted entries: yStars lists every vanished output
-// value.  With m faults each position misses exactly {y*_j ^ k_i}, which
-// any of the m candidates {miss ^ y*_j} explains equally well — elimination
-// alone therefore leaves m consistent candidates per position (m^16 keys).
-// The returned per-position candidate sets feed the frequency-based
-// disambiguation in RecoverLastRoundKeyMultiFault.
+// carrying several corrupted entries; see Collector.MultiFaultCandidates.
 func (c *AESCollector) MultiFaultCandidates(yStars []byte) ([16][]byte, error) {
-	var cands [16][]byte
-	if len(yStars) == 0 {
-		return cands, fmt.Errorf("%w: no fault values given", ErrInconsistent)
-	}
-	for i := 0; i < 16; i++ {
-		miss := c.Missing(i)
-		if len(miss) < len(yStars) {
-			return cands, fmt.Errorf("%w: position %d misses %d values, expected %d",
-				ErrInconsistent, i, len(miss), len(yStars))
-		}
-		if len(miss) > len(yStars) {
-			return cands, fmt.Errorf("%w: position %d has %d missing values for %d faults",
-				ErrUnderdetermined, i, len(miss), len(yStars))
-		}
-		missSet := make(map[byte]bool, len(miss))
-		for _, m := range miss {
-			missSet[m] = true
-		}
-		seen := make(map[byte]bool)
-		for _, m := range miss {
-			for _, y := range yStars {
-				k := m ^ y
-				if seen[k] {
-					continue
-				}
-				consistent := true
-				for _, yy := range yStars {
-					if !missSet[yy^k] {
-						consistent = false
-						break
-					}
-				}
-				if consistent {
-					seen[k] = true
-					cands[i] = append(cands[i], k)
-				}
-			}
-		}
-		if len(cands[i]) == 0 {
-			return cands, fmt.Errorf("%w: position %d matches no key", ErrInconsistent, i)
-		}
-	}
-	return cands, nil
+	var out [16][]byte
+	cands, err := c.g.MultiFaultCandidates(yStars)
+	copy(out[:], cands)
+	return out, err
 }
 
 // RecoverLastRoundKeyMultiFault resolves the multi-fault candidate sets
-// with frequency information: the corrupted entries now emit the values
-// y'_j, so {y'_j ^ k_i} carry roughly doubled counts at every position.
-// yPrimes[j] must be the corrupted value of the entry whose original output
-// was yStars[j] (the ExplFrame attacker knows both from templating).
+// with frequency information; see Collector.RecoverLastRoundKeyMultiFault.
 func (c *AESCollector) RecoverLastRoundKeyMultiFault(yStars, yPrimes []byte) ([16]byte, error) {
 	var key [16]byte
-	if len(yStars) != len(yPrimes) {
-		return key, fmt.Errorf("%w: %d vanished values but %d corrupted values",
-			ErrInconsistent, len(yStars), len(yPrimes))
-	}
-	cands, err := c.MultiFaultCandidates(yStars)
+	last, err := c.g.RecoverLastRoundKeyMultiFault(yStars, yPrimes)
 	if err != nil {
 		return key, err
 	}
-	for i := 0; i < 16; i++ {
-		var bestK byte
-		var bestScore uint64
-		tie := false
-		for _, k := range cands[i] {
-			var score uint64
-			for _, y := range yPrimes {
-				score += c.count[i][y^k]
-			}
-			switch {
-			case score > bestScore:
-				bestScore, bestK, tie = score, k, false
-			case score == bestScore:
-				tie = true
-			}
-		}
-		if tie && len(cands[i]) > 1 {
-			return key, fmt.Errorf("%w: position %d frequency tie", ErrUnderdetermined, i)
-		}
-		key[i] = bestK
-	}
+	copy(key[:], last)
 	return key, nil
 }
 
 // RecoverMasterMultiFaultWithPair completes the multi-fault attack for
-// AES-128 against a degenerate case frequency scoring cannot break: when
-// every fault flips the same bit index, the per-position ciphertext
-// distributions are identical under the m candidate keys and only the key
-// schedule can disambiguate.  The function enumerates the per-position
-// candidates (frequency-ordered, so the common non-degenerate case exits on
-// the first combination) and checks each key-schedule inversion against one
-// clean known pair.  The combination space is capped at 2^20.
+// AES-128, resolving the degenerate same-bit case against one clean known
+// pair; see Collector.RecoverMasterMultiFaultWithPair.
 func (c *AESCollector) RecoverMasterMultiFaultWithPair(yStars, yPrimes, plaintext, ciphertext []byte) ([16]byte, error) {
-	var master [16]byte
-	if len(yStars) != len(yPrimes) {
-		return master, fmt.Errorf("%w: %d vanished values but %d corrupted values",
-			ErrInconsistent, len(yStars), len(yPrimes))
-	}
-	cands, err := c.MultiFaultCandidates(yStars)
+	var key [16]byte
+	master, err := c.g.RecoverMasterMultiFaultWithPair(yStars, yPrimes, plaintext, ciphertext)
 	if err != nil {
-		return master, err
+		return key, err
 	}
-	// Order each position's candidates by descending frequency score.
-	total := 1
-	for i := 0; i < 16; i++ {
-		score := func(k byte) uint64 {
-			var s uint64
-			for _, y := range yPrimes {
-				s += c.count[i][y^k]
-			}
-			return s
-		}
-		list := cands[i]
-		for a := 1; a < len(list); a++ {
-			for b := a; b > 0 && score(list[b]) > score(list[b-1]); b-- {
-				list[b], list[b-1] = list[b-1], list[b]
-			}
-		}
-		total *= len(list)
-		if total > 1<<20 {
-			return master, fmt.Errorf("%w: %d key combinations exceed the search cap", ErrUnderdetermined, total)
-		}
-	}
-	sb := aes.SBox()
-	var idx [16]int
-	ctBuf := make([]byte, 16)
-	for {
-		var k10 [16]byte
-		for i := 0; i < 16; i++ {
-			k10[i] = cands[i][idx[i]]
-		}
-		m := aes.RecoverMasterFromLastRound(k10)
-		if ks, err := aes.Expand(m[:]); err == nil {
-			aes.EncryptBlock(ks, &sb, ctBuf, plaintext)
-			match := true
-			for i := range ctBuf {
-				if ctBuf[i] != ciphertext[i] {
-					match = false
-					break
-				}
-			}
-			if match {
-				return m, nil
-			}
-		}
-		// Odometer increment over the candidate lists.
-		pos := 0
-		for pos < 16 {
-			idx[pos]++
-			if idx[pos] < len(cands[pos]) {
-				break
-			}
-			idx[pos] = 0
-			pos++
-		}
-		if pos == 16 {
-			return master, fmt.Errorf("%w: no combination matches the known pair", ErrInconsistent)
-		}
-	}
+	copy(key[:], master)
+	return key, nil
 }
 
 // RecoverMasterKnownFault completes the attack for AES-128: last-round key
 // via missing values, then key-schedule inversion to the master key.
 func (c *AESCollector) RecoverMasterKnownFault(yStar byte) ([16]byte, error) {
-	k10, err := c.RecoverLastRoundKeyKnownFault(yStar)
+	var key [16]byte
+	master, err := c.g.RecoverMasterKnownFault(yStar, nil, nil)
 	if err != nil {
-		return [16]byte{}, err
+		return key, err
 	}
-	return aes.RecoverMasterFromLastRound(k10), nil
+	copy(key[:], master)
+	return key, nil
 }
 
 // RecoverMasterUnknownFault disambiguates the 256 unknown-fault candidates
 // with one known plaintext/ciphertext pair encrypted under the *clean*
 // cipher (e.g. captured before the fault was planted).
 func (c *AESCollector) RecoverMasterUnknownFault(plaintext, ciphertext []byte) ([16]byte, error) {
-	cands, err := c.CandidateKeysUnknownFault()
+	var key [16]byte
+	master, err := c.g.RecoverMasterUnknownFault(plaintext, ciphertext)
 	if err != nil {
-		return [16]byte{}, err
+		return key, err
 	}
-	sb := aes.SBox()
-	for _, k10 := range cands {
-		master := aes.RecoverMasterFromLastRound(k10)
-		ks, err := aes.Expand(master[:])
-		if err != nil {
-			continue
-		}
-		var ct [16]byte
-		aes.EncryptBlock(ks, &sb, ct[:], plaintext)
-		match := true
-		for i := range ct {
-			if ct[i] != ciphertext[i] {
-				match = false
-				break
-			}
-		}
-		if match {
-			return master, nil
-		}
-	}
-	return [16]byte{}, fmt.Errorf("%w: no candidate matches the known pair", ErrInconsistent)
+	copy(key[:], master)
+	return key, nil
 }

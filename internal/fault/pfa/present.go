@@ -1,15 +1,12 @@
 package pfa
 
 import (
-	"errors"
-	"fmt"
-
-	"explframe/internal/cipher/present"
-	"explframe/internal/stats"
+	"explframe/internal/cipher/registry"
 )
 
-// PresentCollector accumulates faulty PRESENT ciphertexts.  The final round
-// computes c = pLayer(S(x)) ^ K32, so
+// PresentCollector accumulates faulty PRESENT ciphertexts; it is the
+// generic Collector specialised to PRESENT-80 with uint64 block signatures.
+// The final round computes c = pLayer(S(x)) ^ K32, so
 //
 //	invPLayer(c) = S(x) ^ invPLayer(K32)
 //
@@ -17,92 +14,61 @@ import (
 // possible values vanishes from every nibble position of invPLayer(c),
 // revealing the corresponding nibble of invPLayer(K32).
 type PresentCollector struct {
-	seen  [16][16]bool
-	count [16][16]uint64
-	n     uint64
+	g *Collector
 }
 
 // NewPresentCollector returns an empty collector.
-func NewPresentCollector() *PresentCollector { return &PresentCollector{} }
+func NewPresentCollector() *PresentCollector {
+	return &PresentCollector{g: NewCollector(registry.MustGet("present-80"))}
+}
 
 // Observe records one 64-bit ciphertext.
 func (c *PresentCollector) Observe(ct uint64) {
-	u := present.InvPLayer(ct)
-	for i := 0; i < 16; i++ {
-		n := (u >> uint(4*i)) & 0xF
-		c.seen[i][n] = true
-		c.count[i][n]++
-	}
-	c.n++
+	c.g.Observe(u64Bytes(ct)) //nolint:errcheck // length is correct by construction
 }
 
 // N returns the number of observed ciphertexts.
-func (c *PresentCollector) N() uint64 { return c.n }
+func (c *PresentCollector) N() uint64 { return c.g.N() }
 
 // Missing returns the nibble values never observed at position i of the
 // un-permuted ciphertext.
-func (c *PresentCollector) Missing(i int) []byte {
-	var out []byte
-	for v := 0; v < 16; v++ {
-		if !c.seen[i][v] {
-			out = append(out, byte(v))
-		}
-	}
-	return out
-}
+func (c *PresentCollector) Missing(i int) []byte { return c.g.Missing(i) }
 
 // ResidualEntropy returns log2 of the remaining K32 key space.
-func (c *PresentCollector) ResidualEntropy() float64 {
-	e := 0.0
-	for i := 0; i < 16; i++ {
-		e += stats.Log2(float64(len(c.Missing(i))))
-	}
-	return e
-}
+func (c *PresentCollector) ResidualEntropy() float64 { return c.g.ResidualEntropy() }
 
 // RecoverLastRoundKeyKnownFault recovers K32 given the vanished S-box
 // output value yStar (a 4-bit value).
 func (c *PresentCollector) RecoverLastRoundKeyKnownFault(yStar byte) (uint64, error) {
-	var kPrime uint64 // invPLayer(K32)
-	for i := 0; i < 16; i++ {
-		miss := c.Missing(i)
-		switch {
-		case len(miss) == 0:
-			return 0, fmt.Errorf("%w: nibble %d has no missing value", ErrInconsistent, i)
-		case len(miss) > 1:
-			return 0, fmt.Errorf("%w: nibble %d has %d candidates", ErrUnderdetermined, i, len(miss))
-		}
-		kPrime |= uint64(miss[0]^(yStar&0xF)) << uint(4*i)
+	last, err := c.g.RecoverLastRoundKeyKnownFault(yStar)
+	if err != nil {
+		return 0, err
 	}
-	return present.PLayer(kPrime), nil
+	var k32 uint64
+	for _, b := range last {
+		k32 = k32<<8 | uint64(b)
+	}
+	return k32, nil
 }
 
 // RecoverMasterKnownFault completes the PRESENT-80 attack: K32 from the
 // missing nibbles, then key-schedule inversion resolved against a known
 // clean plaintext/ciphertext pair.
 func (c *PresentCollector) RecoverMasterKnownFault(yStar byte, plaintext, ciphertext uint64) ([]byte, error) {
-	k32, err := c.RecoverLastRoundKeyKnownFault(yStar)
-	if err != nil {
-		return nil, err
-	}
-	key, ok := present.RecoverMasterFromLastRound(k32, plaintext, ciphertext)
-	if !ok {
-		return nil, fmt.Errorf("%w: schedule inversion found no key matching the known pair", ErrInconsistent)
-	}
-	return key, nil
+	return c.g.RecoverMasterKnownFault(yStar, u64Bytes(plaintext), u64Bytes(ciphertext))
 }
 
 // RecoverMasterUnknownFault tries all 16 possible vanished values,
 // resolving each against the known pair.
 func (c *PresentCollector) RecoverMasterUnknownFault(plaintext, ciphertext uint64) ([]byte, error) {
-	for y := byte(0); y < 16; y++ {
-		key, err := c.RecoverMasterKnownFault(y, plaintext, ciphertext)
-		if err == nil {
-			return key, nil
-		}
-		if !errors.Is(err, ErrInconsistent) {
-			return nil, err // underdetermined: more data, not more guesses
-		}
+	return c.g.RecoverMasterUnknownFault(u64Bytes(plaintext), u64Bytes(ciphertext))
+}
+
+func u64Bytes(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
 	}
-	return nil, fmt.Errorf("%w: no vanished-value hypothesis matches", ErrInconsistent)
+	return b
 }

@@ -1,5 +1,5 @@
 // Package harness is the deterministic parallel trial engine behind the
-// E1–E14 experiment tables and the Monte Carlo sweeps in internal/core.
+// E1–E15 experiment tables and the Monte Carlo sweeps in internal/core.
 //
 // Every experiment in this repository is a loop of independent trials whose
 // statistics regenerate a table from the paper's evaluation.  RunTrials runs

@@ -2,90 +2,59 @@
 // the simulated kernel: crypto victims that keep an S-box table in a
 // steerable page, and background noise processes whose allocation churn
 // pollutes the per-CPU page frame cache.
+//
+// Victims are cipher-agnostic: any cipher registered in
+// internal/cipher/registry can be spawned by name, and all table handling
+// (size, canonical contents, corruption detection) flows through the
+// registry metadata.
 package trace
 
 import (
 	"fmt"
 
-	"explframe/internal/cipher/aes"
-	"explframe/internal/cipher/present"
+	"explframe/internal/cipher/registry"
 	"explframe/internal/kernel"
 	"explframe/internal/stats"
 	"explframe/internal/vm"
 )
 
-// CipherKind selects the victim's block cipher.
-type CipherKind int
-
-// Supported victim ciphers.
-const (
-	AES128 CipherKind = iota
-	PRESENT80
-)
-
-// String names the cipher.
-func (k CipherKind) String() string {
-	if k == PRESENT80 {
-		return "PRESENT-80"
-	}
-	return "AES-128"
-}
-
-// TableSize returns the size in bytes of the cipher's S-box table as stored
-// in victim memory.
-func (k CipherKind) TableSize() int {
-	if k == PRESENT80 {
-		return 16
-	}
-	return 256
-}
-
 // Victim is a process that performs encryptions with an S-box table held in
 // its own (simulated) memory — the data the ExplFrame attack corrupts.
 type Victim struct {
-	Proc *kernel.Process
-	Kind CipherKind
+	Proc   *kernel.Process
+	Cipher registry.Cipher
 
+	inst    registry.Instance
 	tableVA vm.VirtAddr
-	aesKS   *aes.Schedule
-	prKS    *present.Schedule
 	key     []byte
 }
 
-// SpawnVictim creates the victim process on the given CPU and allocates its
-// working memory: requestPages pages obtained with one mmap, with the page
-// holding the S-box table touched first (so the hottest page-frame-cache
-// frame backs the table — the paper's steering target).  tableOffset is the
-// byte offset of the table within that first page.
-func SpawnVictim(m *kernel.Machine, cpu int, kind CipherKind, key []byte, requestPages int, tableOffset int) (*Victim, error) {
+// SpawnVictim creates a victim process running the named registered cipher
+// on the given CPU and allocates its working memory: requestPages pages
+// obtained with one mmap, with the page holding the S-box table touched
+// first (so the hottest page-frame-cache frame backs the table — the
+// paper's steering target).  tableOffset is the byte offset of the table
+// within that first page.
+func SpawnVictim(m *kernel.Machine, cpu int, cipherName string, key []byte, requestPages int, tableOffset int) (*Victim, error) {
+	c, ok := registry.Get(cipherName)
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown cipher %q (registered: %v)", cipherName, registry.Names())
+	}
 	if requestPages <= 0 {
 		return nil, fmt.Errorf("trace: requestPages must be positive")
 	}
-	if tableOffset < 0 || tableOffset+kind.TableSize() > vm.PageSize {
+	if tableOffset < 0 || tableOffset+c.TableLen() > vm.PageSize {
 		return nil, fmt.Errorf("trace: table at offset %d does not fit a page", tableOffset)
+	}
+	inst, err := c.New(key)
+	if err != nil {
+		return nil, err
 	}
 	proc, err := m.Spawn("victim", cpu)
 	if err != nil {
 		return nil, err
 	}
-	v := &Victim{Proc: proc, Kind: kind, key: append([]byte(nil), key...)}
-
-	switch kind {
-	case AES128:
-		ks, err := aes.Expand(key)
-		if err != nil {
-			return nil, err
-		}
-		v.aesKS = ks
-	case PRESENT80:
-		ks, err := present.Expand(key)
-		if err != nil {
-			return nil, err
-		}
-		v.prKS = ks
-	default:
-		return nil, fmt.Errorf("trace: unknown cipher kind %d", kind)
-	}
+	v := &Victim{Proc: proc, Cipher: c, inst: inst, key: append([]byte(nil), key...)}
 
 	base, err := proc.Mmap(uint64(requestPages) * vm.PageSize)
 	if err != nil {
@@ -95,7 +64,7 @@ func SpawnVictim(m *kernel.Machine, cpu int, kind CipherKind, key []byte, reques
 
 	// First touch allocates the table page — this is the allocation the
 	// attack steers.  Remaining pages are touched afterwards.
-	if err := v.writeTable(); err != nil {
+	if err := proc.WriteBytes(v.tableVA, c.SBox()); err != nil {
 		return nil, err
 	}
 	for p := 1; p < requestPages; p++ {
@@ -106,71 +75,33 @@ func SpawnVictim(m *kernel.Machine, cpu int, kind CipherKind, key []byte, reques
 	return v, nil
 }
 
-// writeTable stores the canonical S-box into victim memory.
-func (v *Victim) writeTable() error {
-	switch v.Kind {
-	case AES128:
-		sb := aes.SBox()
-		return v.Proc.WriteBytes(v.tableVA, sb[:])
-	default:
-		sb := present.SBox()
-		return v.Proc.WriteBytes(v.tableVA, sb[:])
-	}
-}
-
 // TablePage returns the base virtual address of the page holding the table.
 func (v *Victim) TablePage() vm.VirtAddr { return v.tableVA.PageBase() }
 
 // Key returns the victim's secret key (for experiment verification only).
 func (v *Victim) Key() []byte { return append([]byte(nil), v.key...) }
 
-// loadAESTable reads the S-box from victim memory, as a table-driven
+// loadTable reads the S-box from victim memory, as a table-driven
 // implementation does implicitly on every lookup; reloading per encryption
 // is what makes a DRAM fault persistent across ciphertexts.
-func (v *Victim) loadAESTable() (*[256]byte, error) {
-	raw, err := v.Proc.ReadBytes(v.tableVA, 256)
+func (v *Victim) loadTable() ([]byte, error) {
+	return v.Proc.ReadBytes(v.tableVA, v.Cipher.TableLen())
+}
+
+// Encrypt encrypts one block (Cipher.BlockSize bytes) with the in-memory
+// table and returns the ciphertext.
+func (v *Victim) Encrypt(pt []byte) ([]byte, error) {
+	if len(pt) != v.Cipher.BlockSize() {
+		return nil, fmt.Errorf("trace: %s plaintext must be %d bytes, got %d",
+			v.Cipher.Name(), v.Cipher.BlockSize(), len(pt))
+	}
+	table, err := v.loadTable()
 	if err != nil {
 		return nil, err
 	}
-	var sb [256]byte
-	copy(sb[:], raw)
-	return &sb, nil
-}
-
-func (v *Victim) loadPresentTable() (*[16]byte, error) {
-	raw, err := v.Proc.ReadBytes(v.tableVA, 16)
-	if err != nil {
-		return nil, err
-	}
-	var sb [16]byte
-	copy(sb[:], raw)
-	return &sb, nil
-}
-
-// EncryptAES encrypts one block with the in-memory table.
-func (v *Victim) EncryptAES(pt []byte) ([16]byte, error) {
-	var ct [16]byte
-	if v.Kind != AES128 {
-		return ct, fmt.Errorf("trace: victim runs %v", v.Kind)
-	}
-	sb, err := v.loadAESTable()
-	if err != nil {
-		return ct, err
-	}
-	aes.EncryptBlock(v.aesKS, sb, ct[:], pt)
+	ct := make([]byte, v.Cipher.BlockSize())
+	v.inst.Encrypt(table, ct, pt)
 	return ct, nil
-}
-
-// EncryptPresent encrypts one 64-bit block with the in-memory table.
-func (v *Victim) EncryptPresent(pt uint64) (uint64, error) {
-	if v.Kind != PRESENT80 {
-		return 0, fmt.Errorf("trace: victim runs %v", v.Kind)
-	}
-	sb, err := v.loadPresentTable()
-	if err != nil {
-		return 0, err
-	}
-	return present.Encrypt(v.prKS, sb, pt), nil
 }
 
 // TableCorrupted reports whether the in-memory table deviates from the
@@ -191,20 +122,12 @@ func (v *Victim) TableCorrupted() (bool, int, error) {
 // same information from templating (it knows every flippable bit of the
 // planted page and the public table layout); experiments read it directly.
 func (v *Victim) TableCorruptions() (indices []int, values []byte, err error) {
-	n := v.Kind.TableSize()
-	raw, err := v.Proc.ReadBytes(v.tableVA, n)
+	raw, err := v.loadTable()
 	if err != nil {
 		return nil, nil, err
 	}
-	var want []byte
-	if v.Kind == AES128 {
-		sb := aes.SBox()
-		want = sb[:]
-	} else {
-		sb := present.SBox()
-		want = sb[:]
-	}
-	for i := 0; i < n; i++ {
+	want := v.Cipher.SBox()
+	for i := range raw {
 		if raw[i] != want[i] {
 			indices = append(indices, i)
 			values = append(values, raw[i])

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"explframe/internal/cipher/aes"
+	"explframe/internal/cipher/lilliput"
 	"explframe/internal/cipher/present"
+	"explframe/internal/cipher/registry"
 	"explframe/internal/dram"
 	"explframe/internal/kernel"
 	"explframe/internal/stats"
@@ -23,61 +25,76 @@ func testMachine(t *testing.T) *kernel.Machine {
 	return m
 }
 
-func TestCipherKindAccessors(t *testing.T) {
-	if AES128.String() != "AES-128" || PRESENT80.String() != "PRESENT-80" {
-		t.Fatal("names")
-	}
-	if AES128.TableSize() != 256 || PRESENT80.TableSize() != 16 {
-		t.Fatal("table sizes")
-	}
-}
-
 func TestAESVictimEncryptsCorrectly(t *testing.T) {
 	m := testMachine(t)
 	key := []byte("victim-aes-key-0")
-	v, err := SpawnVictim(m, 0, AES128, key, 4, 128)
+	v, err := SpawnVictim(m, 0, "aes-128", key, 4, 128)
 	if err != nil {
 		t.Fatal(err)
 	}
 	pt := []byte("plaintext block!")
-	got, err := v.EncryptAES(pt)
+	got, err := v.Encrypt(pt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Reference with the pure implementation.
 	ks, _ := aes.Expand(key)
 	sb := aes.SBox()
-	var want [16]byte
-	aes.EncryptBlock(ks, &sb, want[:], pt)
-	if got != want {
+	want := make([]byte, 16)
+	aes.EncryptBlock(ks, &sb, want, pt)
+	if !bytes.Equal(got, want) {
 		t.Fatalf("victim ciphertext %x != reference %x", got, want)
 	}
 	if !bytes.Equal(v.Key(), key) {
 		t.Fatal("key accessor")
 	}
-	if _, err := v.EncryptPresent(1); err == nil {
-		t.Fatal("wrong-cipher call accepted")
+	if _, err := v.Encrypt(make([]byte, 8)); err == nil {
+		t.Fatal("wrong block size accepted")
 	}
 }
 
 func TestPresentVictimEncryptsCorrectly(t *testing.T) {
 	m := testMachine(t)
 	key := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	v, err := SpawnVictim(m, 0, PRESENT80, key, 2, 0)
+	v, err := SpawnVictim(m, 0, "present", key, 2, 0) // alias resolves
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := v.EncryptPresent(0xdeadbeef)
+	if v.Cipher.Name() != "present-80" {
+		t.Fatalf("victim cipher %q", v.Cipher.Name())
+	}
+	pt := []byte{0, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef}
+	got, err := v.Encrypt(pt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ks, _ := present.Expand(key)
 	sb := present.SBox()
-	if want := present.Encrypt(ks, &sb, 0xdeadbeef); got != want {
-		t.Fatalf("victim %016x != reference %016x", got, want)
+	want := make([]byte, 8)
+	present.EncryptBlock(ks, &sb, want, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("victim %x != reference %x", got, want)
 	}
-	if _, err := v.EncryptAES(make([]byte, 16)); err == nil {
-		t.Fatal("wrong-cipher call accepted")
+}
+
+func TestLilliputVictimEncryptsCorrectly(t *testing.T) {
+	m := testMachine(t)
+	key := []byte{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	v, err := SpawnVictim(m, 0, "lilliput-80", key, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	got, err := v.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, _ := lilliput.Expand(key)
+	sb := lilliput.SBox()
+	want := make([]byte, 8)
+	lilliput.EncryptBlock(ks, &sb, want, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("victim %x != reference %x", got, want)
 	}
 }
 
@@ -86,7 +103,7 @@ func TestPresentVictimEncryptsCorrectly(t *testing.T) {
 func TestVictimTableCorruption(t *testing.T) {
 	m := testMachine(t)
 	key := []byte("victim-aes-key-1")
-	v, err := SpawnVictim(m, 0, AES128, key, 4, 0)
+	v, err := SpawnVictim(m, 0, "aes-128", key, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +113,7 @@ func TestVictimTableCorruption(t *testing.T) {
 	}
 
 	pt := []byte("plaintext block!")
-	before, _ := v.EncryptAES(pt)
+	before, _ := v.Encrypt(pt)
 
 	// Flip one bit of table entry 0x42 directly in victim memory.
 	cur, err := v.Proc.Load(v.tableVA + 0x42)
@@ -111,24 +128,27 @@ func TestVictimTableCorruption(t *testing.T) {
 	if err != nil || !ok || idx != 0x42 {
 		t.Fatalf("corruption not detected: %v %d %v", ok, idx, err)
 	}
-	after, _ := v.EncryptAES(pt)
-	if before == after {
+	after, _ := v.Encrypt(pt)
+	if bytes.Equal(before, after) {
 		t.Fatal("corrupted table produced identical ciphertext (entry unused is astronomically unlikely over full rounds)")
 	}
 }
 
 func TestSpawnVictimValidation(t *testing.T) {
 	m := testMachine(t)
-	if _, err := SpawnVictim(m, 0, AES128, []byte("shortkey"), 4, 0); err == nil {
+	if _, err := SpawnVictim(m, 0, "rot13", []byte("victim-aes-key-0"), 4, 0); err == nil {
+		t.Fatal("unknown cipher accepted")
+	}
+	if _, err := SpawnVictim(m, 0, "aes-128", []byte("shortkey"), 4, 0); err == nil {
 		t.Fatal("bad key accepted")
 	}
-	if _, err := SpawnVictim(m, 0, AES128, []byte("victim-aes-key-0"), 0, 0); err == nil {
+	if _, err := SpawnVictim(m, 0, "aes-128", []byte("victim-aes-key-0"), 0, 0); err == nil {
 		t.Fatal("zero pages accepted")
 	}
-	if _, err := SpawnVictim(m, 0, AES128, []byte("victim-aes-key-0"), 4, vm.PageSize-100); err == nil {
+	if _, err := SpawnVictim(m, 0, "aes-128", []byte("victim-aes-key-0"), 4, vm.PageSize-100); err == nil {
 		t.Fatal("table overflowing the page accepted")
 	}
-	if _, err := SpawnVictim(m, 9, AES128, []byte("victim-aes-key-0"), 4, 0); err == nil {
+	if _, err := SpawnVictim(m, 9, "aes-128", []byte("victim-aes-key-0"), 4, 0); err == nil {
 		t.Fatal("bad cpu accepted")
 	}
 }
@@ -143,7 +163,7 @@ func TestVictimTouchesTablePageFirst(t *testing.T) {
 	pa, _ := p.Translate(base + vm.PageSize)
 	p.Munmap(base+vm.PageSize, vm.PageSize)
 
-	v, err := SpawnVictim(m, 0, AES128, []byte("victim-aes-key-2"), 4, 64)
+	v, err := SpawnVictim(m, 0, "aes-128", []byte("victim-aes-key-2"), 4, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,6 +173,35 @@ func TestVictimTouchesTablePageFirst(t *testing.T) {
 	}
 	if vpa>>12 != pa>>12 {
 		t.Fatalf("table page frame %d, want planted %d", vpa>>12, pa>>12)
+	}
+}
+
+// Every registered cipher must be spawnable and detect its own table
+// corruptions through the registry metadata alone.
+func TestAllRegisteredCiphersSpawn(t *testing.T) {
+	for _, name := range registry.Names() {
+		c := registry.MustGet(name)
+		m := testMachine(t)
+		key := make([]byte, c.KeyBytes())
+		for i := range key {
+			key[i] = byte(i + 1)
+		}
+		v, err := SpawnVictim(m, 0, name, key, 2, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		last := c.TableLen() - 1
+		cur, _ := v.Proc.Load(v.tableVA + vm.VirtAddr(last))
+		if err := v.Proc.Store(v.tableVA+vm.VirtAddr(last), cur^0x01); err != nil {
+			t.Fatal(err)
+		}
+		idx, vals, err := v.TableCorruptions()
+		if err != nil || len(idx) != 1 || idx[0] != last {
+			t.Fatalf("%s: corruption at %v (%v), want [%d]", name, idx, err, last)
+		}
+		if vals[0] != cur^0x01 {
+			t.Fatalf("%s: corrupted value %#x", name, vals[0])
+		}
 	}
 }
 

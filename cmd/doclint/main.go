@@ -1,0 +1,203 @@
+// doclint is the repository's godoc comment lint: it fails when a package
+// lacks a package comment or an exported top-level identifier lacks a doc
+// comment, the revive/stylecheck subset this repo enforces in CI without
+// external dependencies.
+//
+// Usage:
+//
+//	doclint ./internal/... ./cmd/...
+//
+// Patterns ending in /... are walked recursively; test files are exempt
+// (their exported helpers document themselves through the tests).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: doclint ./dir [./dir/... ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	dirs, err := expand(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var findings []string
+	for _, dir := range dirs {
+		fs, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifiers\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// expand resolves argument patterns into the sorted set of directories that
+// contain non-test Go files; "dir/..." walks recursively.
+func expand(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	add := func(dir string) error {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				seen[dir] = true
+				return nil
+			}
+		}
+		return nil
+	}
+	for _, arg := range args {
+		if root, ok := strings.CutSuffix(arg, "/..."); ok {
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					return add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := add(arg); err != nil {
+			return nil, err
+		}
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// lintDir parses one package directory and reports undocumented exported
+// declarations.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("doclint: parsing %s: %w", dir, err)
+	}
+	var findings []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, file := range pkg.Files {
+			if file.Doc != nil && len(strings.TrimSpace(file.Doc.Text())) > 0 {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			findings = append(findings, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		for name, file := range pkg.Files {
+			findings = append(findings, lintFile(fset, name, file)...)
+		}
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// lintFile reports the file's undocumented exported top-level declarations:
+// functions and methods, type specs, and const/var specs (a group doc on
+// the declaration covers all of its specs).
+func lintFile(fset *token.FileSet, name string, file *ast.File) []string {
+	var findings []string
+	report := func(pos token.Pos, what, ident string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s is undocumented", p.Filename, p.Line, what, ident))
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedRecv(d) {
+				continue
+			}
+			if d.Doc == nil {
+				what := "function"
+				if d.Recv != nil {
+					what = "method"
+				}
+				report(d.Pos(), what, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					kind := "const"
+					if d.Tok == token.VAR {
+						kind = "var"
+					}
+					for _, id := range s.Names {
+						if id.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							report(id.Pos(), kind, id.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// exportedRecv reports whether a declaration's receiver (if any) names an
+// exported type: methods on unexported types are internal API.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write drops a Go source file into dir.
+func write(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintDirFindings(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.go", `// Package demo is documented.
+package demo
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {}
+
+type Exposed struct{}
+
+// Grouped constants share the declaration doc.
+const (
+	A = 1
+	B = 2
+)
+
+var Naked = 3
+
+func unexported() {}
+
+func (Exposed) Method() {}
+
+type hidden struct{}
+
+func (hidden) Exported() {} // method on unexported type: internal API
+`)
+	findings, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		// Strip the tempdir prefix for stable comparison.
+		got = append(got, f[strings.LastIndex(f, string(filepath.Separator))+1:])
+	}
+	// lintDir sorts findings lexically, so two-digit lines precede
+	// single-digit ones.
+	want := []string{
+		"a.go:17: exported var Naked is undocumented",
+		"a.go:21: exported method Method is undocumented",
+		"a.go:7: exported function Undocumented is undocumented",
+		"a.go:9: exported type Exposed is undocumented",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("findings:\n%s\nwant:\n%s", strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+func TestLintDirMissingPackageComment(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.go", "package nodoc\n")
+	findings, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "no package comment") {
+		t.Errorf("findings = %v", findings)
+	}
+}
+
+// Test files are exempt: exported test helpers document themselves through
+// the tests that use them.
+func TestLintDirSkipsTestFiles(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.go", "// Package demo.\npackage demo\n")
+	write(t, dir, "a_test.go", "package demo\n\nfunc Helper() {}\n")
+	findings, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("findings = %v", findings)
+	}
+}
+
+func TestExpandWalksRecursively(t *testing.T) {
+	root := t.TempDir()
+	sub := filepath.Join(root, "inner")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write(t, root, "a.go", "// Package a.\npackage a\n")
+	write(t, sub, "b.go", "// Package b.\npackage b\n")
+	write(t, root, "ignored.txt", "not go")
+
+	dirs, err := expand([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 2 || dirs[0] != root || dirs[1] != sub {
+		t.Errorf("expand = %v, want [%s %s]", dirs, root, sub)
+	}
+
+	// Non-recursive: only the named directory.
+	dirs, err = expand([]string{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 1 || dirs[0] != root {
+		t.Errorf("expand = %v", dirs)
+	}
+}

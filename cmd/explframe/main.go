@@ -1,6 +1,8 @@
 // explframe runs one end-to-end ExplFrame attack on the simulated stack and
 // prints a phase-by-phase report: templating, frame planting, page frame
-// cache steering, re-hammering, and persistent fault analysis.
+// cache steering, re-hammering, and persistent fault analysis.  With
+// -trials > 1 it runs a sweep and renders the per-phase success table in
+// any report format (-format text|md|csv|json, -out FILE).
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"explframe/internal/core"
 	"explframe/internal/dram"
 	"explframe/internal/harness"
+	"explframe/internal/report"
 	"explframe/internal/rowhammer"
 	"explframe/internal/stats"
 )
@@ -34,6 +37,8 @@ func main() {
 	trr := flag.Bool("trr", false, "enable the TRR mitigation (tracker 4, threshold 300)")
 	ecc := flag.Bool("ecc", false, "enable SEC-DED ECC")
 	manySided := flag.Int("many-sided", 0, "use many-sided hammering with this many decoy rows (TRR bypass)")
+	format := flag.String("format", "text", "sweep output format (-trials > 1): text, md, csv or json")
+	out := flag.String("out", "", "write the sweep table to this file instead of stdout (-trials > 1)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -63,17 +68,22 @@ func main() {
 	cfg.VictimCipher = victim.Name()
 	cfg.VictimKey = core.DefaultVictimKey(victim)
 
+	if *trials > 1 {
+		f, err := report.ParseFormat(*format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		harness.SetWorkers(*parallel)
+		runSweep(cfg, *trials, f, *out)
+		return
+	}
+
 	fmt.Printf("ExplFrame attack: %s victim, seed %d\n", cfg.VictimCipher, cfg.Seed)
 	fmt.Printf("  machine: %d MiB DRAM, %d CPUs, weak-cell density %g\n",
 		cfg.Machine.Geometry.TotalBytes()>>20, cfg.Machine.NumCPUs, cfg.Machine.FaultModel.WeakCellDensity)
 	fmt.Printf("  attacker: %d MiB buffer on CPU %d; victim: %d pages on CPU %d\n\n",
 		cfg.AttackerMemory>>20, cfg.AttackerCPU, cfg.VictimRequestPages, cfg.VictimCPU)
-
-	if *trials > 1 {
-		harness.SetWorkers(*parallel)
-		runSweep(cfg, *trials)
-		return
-	}
 
 	atk, err := core.NewAttack(cfg)
 	if err != nil {
@@ -122,9 +132,12 @@ func verdict(b bool) string {
 	return "miss"
 }
 
-// runSweep executes n attack trials on the harness pool and prints the
-// per-phase success rates, the multi-trial view of the single-run report.
-func runSweep(cfg core.Config, n int) {
+// runSweep executes n attack trials on the harness pool and renders the
+// per-phase success rates as a report table — the multi-trial view of the
+// single-run report, in any of the report formats.
+func runSweep(cfg core.Config, n int, f report.Format, out string) {
+	fmt.Fprintf(os.Stderr, "ExplFrame sweep: %s victim, seed %d, %d trials (workers=%d)\n",
+		cfg.VictimCipher, cfg.Seed, n, harness.Workers())
 	start := time.Now()
 	reports, err := core.RunAttackTrials(cfg, n, nil)
 	if err != nil {
@@ -142,13 +155,49 @@ func runSweep(cfg core.Config, n int) {
 			cts.Observe(float64(rep.CiphertextsUsed))
 		}
 	}
-	fmt.Printf("%d trials in %.1fs (workers=%d)\n", n, time.Since(start).Seconds(), harness.Workers())
-	fmt.Printf("  [template] usable site:   %s\n", site.String())
-	fmt.Printf("  [steer]    frame steered: %s\n", steer.String())
-	fmt.Printf("  [rehammer] fault planted: %s\n", fault.String())
-	fmt.Printf("  [analyse]  key recovered: %s\n", key.String())
+
+	t := &report.Table{
+		ID:    "sweep",
+		Title: fmt.Sprintf("per-phase success over %d trials (%s victim, seed %d)", n, cfg.VictimCipher, cfg.Seed),
+		Claim: "multi-trial view of the end-to-end pipeline: template → plant → steer → re-hammer → PFA",
+		Columns: []report.Column{
+			{Name: "phase"}, {Name: "event"},
+			{Name: "successes"}, {Name: "trials"}, {Name: "rate", Unit: "fraction"},
+		},
+	}
+	for _, row := range []struct {
+		phase, event string
+		p            stats.Proportion
+	}{
+		{"template", "usable site found", site},
+		{"steer", "frame steered to victim", steer},
+		{"rehammer", "fault planted in table", fault},
+		{"analyse", "key recovered", key},
+	} {
+		t.AddRow(report.Str(row.phase), report.Str(row.event),
+			report.Int(row.p.Successes), report.Int(row.p.Trials), report.Float(row.p.Rate(), 3))
+	}
 	if cts.N() > 0 {
-		fmt.Printf("  ciphertexts to recovery: %s\n", cts.String())
+		t.Notes = append(t.Notes, fmt.Sprintf("ciphertexts to recovery: %s", cts.String()))
+	}
+	// Wall time and worker count go to stderr, not the table: rendered
+	// sweep output must be byte-identical at any -parallel (the repo's
+	// determinism contract).
+	fmt.Fprintf(os.Stderr, "%d trials in %.1fs (workers=%d)\n", n, time.Since(start).Seconds(), harness.Workers())
+
+	rendered, err := report.Render(t, f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "render: %v\n", err)
+		os.Exit(1)
+	}
+	if out != "" {
+		if err := os.WriteFile(out, []byte(rendered), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	} else {
+		fmt.Print(rendered)
 	}
 	if key.Successes == 0 {
 		os.Exit(1)

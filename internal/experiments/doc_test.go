@@ -3,9 +3,10 @@ package experiments
 import "testing"
 
 // Every experiment table must carry the metadata DESIGN.md promises: an ID,
-// a claim tying it to the paper, headers, rows, and at least one note with
-// the trial parameters.  E1/E2/E12 run fast enough to verify live; the
-// heavyweight experiments are exercised by their Shape tests and benchtab.
+// a claim tying it to the paper, columns, rows, at least one note with the
+// trial parameters, and at least one paper expectation for the results
+// book.  E1/E2/E12 run fast enough to verify live; the heavyweight
+// experiments are exercised by their Shape tests and benchtab.
 func TestTableMetadataComplete(t *testing.T) {
 	fast := []Runner{}
 	for _, r := range All() {
@@ -28,16 +29,20 @@ func TestTableMetadataComplete(t *testing.T) {
 		if tb.Title == "" || tb.Claim == "" {
 			t.Errorf("%s: missing title or claim", r.ID)
 		}
-		if len(tb.Headers) == 0 || len(tb.Rows) == 0 {
+		if len(tb.Columns) == 0 || len(tb.Rows) == 0 {
 			t.Errorf("%s: empty table", r.ID)
 		}
-		for ri, row := range tb.Rows {
-			if len(row) != len(tb.Headers) {
-				t.Errorf("%s row %d: %d cells for %d headers", r.ID, ri, len(row), len(tb.Headers))
-			}
+		if err := tb.Validate(); err != nil {
+			t.Errorf("%s: %v", r.ID, err)
 		}
 		if len(tb.Notes) == 0 {
 			t.Errorf("%s: no notes", r.ID)
+		}
+		if len(tb.Expectations) == 0 {
+			t.Errorf("%s: no paper expectations", r.ID)
+		}
+		if _, err := tb.Score(); err != nil {
+			t.Errorf("%s: scoring expectations: %v", r.ID, err)
 		}
 	}
 }

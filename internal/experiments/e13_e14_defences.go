@@ -5,6 +5,7 @@ import (
 
 	"explframe/internal/core"
 	"explframe/internal/dram"
+	"explframe/internal/report"
 	"explframe/internal/rowhammer"
 	"explframe/internal/stats"
 )
@@ -15,10 +16,13 @@ import (
 // conclusion points at, made quantitative.
 func E13Defences(seed uint64) (*Table, error) {
 	t := &Table{
-		ID:      "E13",
-		Title:   "defences: TRR, many-sided bypass, ECC",
-		Claim:   "extension: which deployed mitigations actually stop the ExplFrame pipeline, and at what cost",
-		Headers: []string{"defence", "hammer_mode", "fault_in_table", "notes"},
+		ID:    "E13",
+		Title: "defences: TRR, many-sided bypass, ECC",
+		Claim: "extension: which deployed mitigations actually stop the ExplFrame pipeline, and at what cost",
+		Columns: []report.Column{
+			{Name: "defence"}, {Name: "hammer_mode"},
+			{Name: "fault_in_table", Unit: "fraction"}, {Name: "notes"},
+		},
 	}
 	const trials = 8
 
@@ -56,11 +60,23 @@ func E13Defences(seed uint64) (*Table, error) {
 		for _, rep := range reports {
 			fault.Observe(rep.FaultInjected)
 		}
-		t.Rows = append(t.Rows, []string{sc.name, sc.mode.String(), f2(fault.Rate()), sc.note})
+		t.AddRow(report.Str(sc.name), report.Str(sc.mode.String()), f2(fault.Rate()), report.Str(sc.note))
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d end-to-end trials per row; success = fault observed in the victim's table", trials),
 		"TRR stops double-sided but not many-sided; ECC corrects the single-bit faults this attack plants")
+	t.Expect(report.Expectation{
+		Metric: "TRR stops double-sided hammering outright",
+		Row:    1, Col: 2,
+		Paper: 0.0, Tol: 0.0,
+		PaperText: "neighbour refresh outruns disturbance", Source: "TRR literature",
+	})
+	t.Expect(report.Expectation{
+		Metric: "SEC-DED ECC corrects the planted single-bit faults",
+		Row:    3, Col: 2,
+		Paper: 0.0, Tol: 0.1,
+		PaperText: "single-bit faults corrected on read", Source: "ECC literature",
+	})
 	return t, nil
 }
 
@@ -70,10 +86,13 @@ func E13Defences(seed uint64) (*Table, error) {
 // policy choice.
 func E14PCPPolicy(seed uint64) (*Table, error) {
 	t := &Table{
-		ID:      "E14",
-		Title:   "ablation: page frame cache service policy (LIFO vs FIFO)",
-		Claim:   "extension: Section V's steering exists because the cache returns the most recently freed frame first",
-		Headers: []string{"policy", "victim_pages", "first_page_hit", "planted_reused_anywhere"},
+		ID:    "E14",
+		Title: "ablation: page frame cache service policy (LIFO vs FIFO)",
+		Claim: "extension: Section V's steering exists because the cache returns the most recently freed frame first",
+		Columns: []report.Column{
+			{Name: "policy"}, {Name: "victim_pages", Unit: "pages"},
+			{Name: "first_page_hit", Unit: "fraction"}, {Name: "planted_reused_anywhere", Unit: "fraction"},
+		},
 	}
 	const trials = 25
 
@@ -100,13 +119,19 @@ func E14PCPPolicy(seed uint64) (*Table, error) {
 			if fifo {
 				policy = "FIFO (ablated)"
 			}
-			t.Rows = append(t.Rows, []string{
-				policy, fmt.Sprint(pages), f3(first.Rate()), f3(anywhere.Mean()),
-			})
+			t.AddRow(
+				report.Str(policy), report.Int(pages), f3(first.Rate()), f3(anywhere.Mean()),
+			)
 		}
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d trials per row", trials),
 		"FIFO destroys first-page targeting; the frame can still surface somewhere in large requests, which is not exploitable for a 1-page table")
+	t.Expect(report.Expectation{
+		Metric: "LIFO cache hands the hottest frame to a 1-page victim",
+		Row:    0, Col: 2,
+		Paper: 1.0, Tol: 0.05,
+		PaperText: "\"probability of almost 1\" under Linux's LIFO pcp", Source: "Sec. V",
+	})
 	return t, nil
 }

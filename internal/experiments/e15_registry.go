@@ -7,6 +7,7 @@ import (
 	"explframe/internal/cipher/registry"
 	"explframe/internal/fault/pfa"
 	"explframe/internal/harness"
+	"explframe/internal/report"
 	"explframe/internal/stats"
 )
 
@@ -19,10 +20,15 @@ import (
 // schedule needs it) verified against the true key.
 func E15PFAAllCiphers(seed uint64) (*Table, error) {
 	t := &Table{
-		ID:      "E15",
-		Title:   "PFA across the cipher registry (one generic collector, every victim)",
-		Claim:   "title: fault analysis of block cipherS — the persistent-fault pipeline runs on any registered SPN via its S-box/round metadata alone",
-		Headers: []string{"cipher", "table", "cells", "recovered_frac", "master_ok_frac", "cts_mean", "cts_p50", "cts_max"},
+		ID:    "E15",
+		Title: "PFA across the cipher registry (one generic collector, every victim)",
+		Claim: "title: fault analysis of block cipherS — the persistent-fault pipeline runs on any registered SPN via its S-box/round metadata alone",
+		Columns: []report.Column{
+			{Name: "cipher"}, {Name: "table"}, {Name: "cells"},
+			{Name: "recovered_frac", Unit: "fraction"}, {Name: "master_ok_frac", Unit: "fraction"},
+			{Name: "cts_mean", Unit: "ciphertexts"}, {Name: "cts_p50", Unit: "ciphertexts"},
+			{Name: "cts_max", Unit: "ciphertexts"},
+		},
 	}
 	const trials = 16
 
@@ -91,20 +97,39 @@ func E15PFAAllCiphers(seed uint64) (*Table, error) {
 				cts.Observe(float64(tr.recoveredAt))
 			}
 		}
-		mean, p50, max := "-", "-", "-"
+		mean, p50, max := report.Dash(), report.Dash(), report.Dash()
 		if cts.N() > 0 {
-			mean = fmt.Sprintf("%.0f", cts.Mean())
-			p50 = fmt.Sprintf("%.0f", cts.Quantile(0.5))
-			max = fmt.Sprintf("%.0f", cts.Max())
+			mean = report.Float(cts.Mean(), 0)
+			p50 = report.Float(cts.Quantile(0.5), 0)
+			max = report.Float(cts.Max(), 0)
 		}
-		t.Rows = append(t.Rows, []string{
-			name,
-			fmt.Sprintf("%dx%db", c.TableLen(), c.EntryBits()),
-			fmt.Sprint(registry.Cells(c)),
+		ri := len(t.Rows)
+		t.AddRow(
+			report.Str(name),
+			report.Strf("%dx%db", c.TableLen(), c.EntryBits()),
+			report.Int(registry.Cells(c)),
 			f2(recovered.Rate()),
 			f2(masterOK.Rate()),
 			mean, p50, max,
+		)
+		t.Expect(report.Expectation{
+			Metric: fmt.Sprintf("%s: every trial recovers the master key", name),
+			Row:    ri, Col: 4,
+			Paper: 1.0, Tol: 0.05,
+			PaperText: "fault analysis of block cipherS", Source: "title",
 		})
+	}
+	// The AES data-complexity anchor only scores when at least one AES
+	// trial recovered (the cts_mean cell is "-" otherwise).
+	for ri, row := range t.Rows {
+		if row[0].Text == "aes-128" && row[5].Numeric() {
+			t.Expect(report.Expectation{
+				Metric: "aes-128: mean ciphertexts to last-round key",
+				Row:    ri, Col: 5,
+				Paper: 2000, Tol: 250,
+				PaperText: "~2000 faulty ciphertexts", Source: "[12] TCHES 2018",
+			})
+		}
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d trials per cipher, random keys, random single-bit faults, known-fault recovery, budget 25x alphabet", trials),

@@ -7,6 +7,7 @@ import (
 	"explframe/internal/harness"
 	"explframe/internal/kernel"
 	"explframe/internal/mm"
+	"explframe/internal/report"
 	"explframe/internal/stats"
 	"explframe/internal/vm"
 )
@@ -33,10 +34,14 @@ func E1Buddy(seed uint64) (*Table, error) {
 	rng := stats.NewRNG(seed)
 
 	t := &Table{
-		ID:      "E1",
-		Title:   "buddy allocator: splits, coalesces, fragmentation under churn",
-		Claim:   "Sec. IV: blocks split in powers of two and coalesce with free buddies on release",
-		Headers: []string{"ops", "live_blocks", "free_pages", "splits", "coalesces", "frag@order8", "largest_order"},
+		ID:    "E1",
+		Title: "buddy allocator: splits, coalesces, fragmentation under churn",
+		Claim: "Sec. IV: blocks split in powers of two and coalesce with free buddies on release",
+		Columns: []report.Column{
+			{Name: "ops"}, {Name: "live_blocks"}, {Name: "free_pages", Unit: "pages"},
+			{Name: "splits"}, {Name: "coalesces"}, {Name: "frag@order8", Unit: "fraction"},
+			{Name: "largest_order"},
+		},
 	}
 
 	type block struct {
@@ -65,20 +70,23 @@ func E1Buddy(seed uint64) (*Table, error) {
 				return nil, fmt.Errorf("invariant violated at op %d: %v", op, err)
 			}
 			st := pm.Stats(mm.ZoneDMA32)
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprint(op),
-				fmt.Sprint(len(live)),
-				fmt.Sprint(pm.FreePagesInZone(mm.ZoneDMA32)),
-				fmt.Sprint(st.Splits),
-				fmt.Sprint(st.Coalesces),
+			t.AddRow(
+				report.Int(op),
+				report.Int(len(live)),
+				report.Uint(pm.FreePagesInZone(mm.ZoneDMA32)),
+				report.Uint(st.Splits),
+				report.Uint(st.Coalesces),
 				f3(pm.ExternalFragmentation(mm.ZoneDMA32, 8)),
-				fmt.Sprint(pm.LargestFreeOrder(mm.ZoneDMA32)),
-			})
+				report.Int(pm.LargestFreeOrder(mm.ZoneDMA32)),
+			)
 		}
 	}
 	t.Notes = append(t.Notes,
 		"orders 0-5 uniformly, 55% alloc bias; invariants checked every 5000 ops",
 		"fragmentation rises under churn while coalescing keeps the largest order available")
+	t.Expect(report.Qualitative(
+		"buddy blocks split in powers of two and coalesce with free buddies",
+		"mechanism claim, no reported figure", "Sec. IV"))
 	return t, nil
 }
 
@@ -87,10 +95,15 @@ func E1Buddy(seed uint64) (*Table, error) {
 // "probability of almost 1" claim) for three pcp batch sizes.
 func E2SelfReuse(seed uint64) (*Table, error) {
 	t := &Table{
-		ID:      "E2",
-		Title:   "page frame cache self-reuse probability vs request size",
-		Claim:   "Sec. V: \"with a probability of almost 1, if the process requests for a few pages, the recently deallocated page frames will be reallocated\"",
-		Headers: []string{"request_pages", "reuse(batch=16)", "reuse(batch=31)", "reuse(batch=64)"},
+		ID:    "E2",
+		Title: "page frame cache self-reuse probability vs request size",
+		Claim: "Sec. V: \"with a probability of almost 1, if the process requests for a few pages, the recently deallocated page frames will be reallocated\"",
+		Columns: []report.Column{
+			{Name: "request_pages", Unit: "pages"},
+			{Name: "reuse(batch=16)", Unit: "fraction"},
+			{Name: "reuse(batch=31)", Unit: "fraction"},
+			{Name: "reuse(batch=64)", Unit: "fraction"},
+		},
 	}
 	requests := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
 	batches := []int{16, 31, 64}
@@ -99,7 +112,7 @@ func E2SelfReuse(seed uint64) (*Table, error) {
 
 	cell := 0
 	for _, req := range requests {
-		row := []string{fmt.Sprint(req)}
+		row := []report.Cell{report.Int(req)}
 		for _, batch := range batches {
 			request, pcpBatch := req, batch
 			fracs, err := harness.RunTrials(stats.DeriveSeed(seed, label(2, uint64(cell))), trials,
@@ -124,6 +137,12 @@ func E2SelfReuse(seed uint64) (*Table, error) {
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d freed pages, %d trials per cell; reuse = freed frames reallocated to the same process", freed, trials),
 		"reuse stays ~1.0 for small requests and holds while the cache (plus batch refills) covers the request")
+	t.Expect(report.Expectation{
+		Metric: "self-reuse probability, 1-page request (batch=31, the Linux default)",
+		Row:    0, Col: 2,
+		Paper: 1.0, Tol: 0.01,
+		PaperText: "\"probability of almost 1\"", Source: "Sec. V",
+	})
 	return t, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"explframe/internal/core"
+	"explframe/internal/report"
 	"explframe/internal/stats"
 )
 
@@ -27,10 +28,13 @@ func steeringRate(base core.SteeringConfig, seed uint64, trials int) (stats.Prop
 // noise level and CPU placement — the heart of Section V.
 func E3Steering(seed uint64) (*Table, error) {
 	t := &Table{
-		ID:      "E3",
-		Title:   "attacker→victim frame steering success rate",
-		Claim:   "Sec. V: \"the page frame that was unmapped by the adversarial process gets allocated to the victim process\" (same CPU, small request)",
-		Headers: []string{"victim_pages", "noise_ops", "cpus", "success", "ci95"},
+		ID:    "E3",
+		Title: "attacker→victim frame steering success rate",
+		Claim: "Sec. V: \"the page frame that was unmapped by the adversarial process gets allocated to the victim process\" (same CPU, small request)",
+		Columns: []report.Column{
+			{Name: "victim_pages", Unit: "pages"}, {Name: "noise_ops", Unit: "ops"},
+			{Name: "cpus"}, {Name: "success", Unit: "fraction"}, {Name: "ci95"},
+		},
 	}
 	const trials = 40
 
@@ -62,14 +66,26 @@ func E3Steering(seed uint64) (*Table, error) {
 			return nil, err
 		}
 		lo, hi := p.WilsonCI(1.96)
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(c.pages), fmt.Sprint(c.noiseOps), cpus,
-			f3(p.Rate()), fmt.Sprintf("[%s,%s]", f3(lo), f3(hi)),
-		})
+		t.AddRow(
+			report.Int(c.pages), report.Int(c.noiseOps), report.Str(cpus),
+			f3(p.Rate()), report.Strf("[%.3f,%.3f]", lo, hi),
+		)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d trials per row; success = victim's first-touched page received the hottest released frame", trials),
 		"same-CPU/quiet steering is near deterministic; noise and cross-CPU placement defeat it")
+	t.Expect(report.Expectation{
+		Metric: "steering success, quiet same-CPU, 1-page victim",
+		Row:    0, Col: 3,
+		Paper: 0.95, Tol: 0.05,
+		PaperText: ">95% success for the attack page", Source: "Sec. VII",
+	})
+	t.Expect(report.Expectation{
+		Metric: "steering success, cross-CPU victim",
+		Row:    7, Col: 3,
+		Paper: 0.0, Tol: 0.05,
+		PaperText: "defeated: per-CPU cache is not shared", Source: "Sec. V",
+	})
 	return t, nil
 }
 
@@ -77,10 +93,13 @@ func E3Steering(seed uint64) (*Table, error) {
 // remain active rather than going into inactive state (sleeping)".
 func E11ActiveWait(seed uint64) (*Table, error) {
 	t := &Table{
-		ID:      "E11",
-		Title:   "steering success: active vs sleeping attacker",
-		Claim:   "Sec. V: \"the adversarial process must remain active ... since in that case the entire process state information including page frame cache will be swapped out\"",
-		Headers: []string{"attacker_state", "cpu_company", "drain_on_idle", "success"},
+		ID:    "E11",
+		Title: "steering success: active vs sleeping attacker",
+		Claim: "Sec. V: \"the adversarial process must remain active ... since in that case the entire process state information including page frame cache will be swapped out\"",
+		Columns: []report.Column{
+			{Name: "attacker_state"}, {Name: "cpu_company"},
+			{Name: "drain_on_idle"}, {Name: "success", Unit: "fraction"},
+		},
 	}
 	const trials = 40
 
@@ -118,10 +137,22 @@ func E11ActiveWait(seed uint64) (*Table, error) {
 		if c.company {
 			company = "busy peer"
 		}
-		t.Rows = append(t.Rows, []string{state, company, fmt.Sprint(c.drain), f3(p.Rate())})
+		t.AddRow(report.Str(state), report.Str(company), report.Strf("%v", c.drain), f3(p.Rate()))
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d trials per row", trials),
 		"a sleeping attacker only survives if another runnable process keeps the CPU from idling (or drain-on-idle is off)")
+	t.Expect(report.Expectation{
+		Metric: "steering success with an active attacker",
+		Row:    0, Col: 3,
+		Paper: 1.0, Tol: 0.05,
+		PaperText: "the attack requires an active adversary", Source: "Sec. V",
+	})
+	t.Expect(report.Expectation{
+		Metric: "steering success once the attacker sleeps (cache drained)",
+		Row:    1, Col: 3,
+		Paper: 0.0, Tol: 0.05,
+		PaperText: "\"page frame cache will be swapped out\"", Source: "Sec. V",
+	})
 	return t, nil
 }

@@ -6,9 +6,9 @@ import (
 	"explframe/internal/dram"
 	"explframe/internal/harness"
 	"explframe/internal/kernel"
+	"explframe/internal/report"
 	"explframe/internal/rowhammer"
 	"explframe/internal/stats"
-	"explframe/internal/vm"
 )
 
 // hammerMachine builds a machine with a dense weak-cell population and a
@@ -33,10 +33,13 @@ func hammerMachine(seed uint64, density float64) (kernel.Config, error) {
 // basis of the paper's Section VI threat).
 func E4HammerOnset(seed uint64) (*Table, error) {
 	t := &Table{
-		ID:      "E4",
-		Title:   "bit flips vs hammer count, single- vs double-sided",
-		Claim:   "Sec. I/VI: repeated row activation induces flips in adjacent rows; nothing flips below the onset threshold",
-		Headers: []string{"pairs_per_row", "flips_double", "flips_single", "rows_scanned"},
+		ID:    "E4",
+		Title: "bit flips vs hammer count, single- vs double-sided",
+		Claim: "Sec. I/VI: repeated row activation induces flips in adjacent rows; nothing flips below the onset threshold",
+		Columns: []report.Column{
+			{Name: "pairs_per_row", Unit: "activations"}, {Name: "flips_double", Unit: "flips"},
+			{Name: "flips_single", Unit: "flips"}, {Name: "rows_scanned", Unit: "rows"},
+		},
 	}
 	const region = 6 << 20
 	budgets := []int{1000, 2000, 3000, 4500, 6000, 9000, 13000}
@@ -87,11 +90,14 @@ func E4HammerOnset(seed uint64) (*Table, error) {
 		return nil, err
 	}
 	for bi, c := range cells {
-		t.Rows = append(t.Rows, []string{fmt.Sprint(budgets[bi]), fmt.Sprint(c.dFlips), fmt.Sprint(c.sFlips), fmt.Sprint(c.rows)})
+		t.AddRow(report.Int(budgets[bi]), report.Int(c.dFlips), report.Int(c.sFlips), report.Uint(c.rows))
 	}
 	t.Notes = append(t.Notes,
 		"6 MiB region, weak-cell density 8e-5, base threshold 4000 activations/window",
 		"no flips below the onset; double-sided dominates single-sided at equal budgets (2x disturbance per pair)")
+	t.Expect(report.Qualitative(
+		"onset curve: flips appear only past an activation threshold, double-sided first",
+		"Kim et al. onset shape, no absolute counts comparable across modules", "Sec. I/VI"))
 	return t, nil
 }
 
@@ -100,10 +106,13 @@ func E4HammerOnset(seed uint64) (*Table, error) {
 // flips in the same location").
 func E5Reproducibility(seed uint64) (*Table, error) {
 	t := &Table{
-		ID:      "E5",
-		Title:   "per-site flip reproducibility over repeated hammer runs",
-		Claim:   "Sec. VI: \"there is a high probability of getting bit flips in the same location when conducting Rowhammer on the same virtual address space\"",
-		Headers: []string{"site", "page_offset", "bit", "polarity", "reproduced/runs"},
+		ID:    "E5",
+		Title: "per-site flip reproducibility over repeated hammer runs",
+		Claim: "Sec. VI: \"there is a high probability of getting bit flips in the same location when conducting Rowhammer on the same virtual address space\"",
+		Columns: []report.Column{
+			{Name: "site"}, {Name: "page_offset", Unit: "bytes"}, {Name: "bit"},
+			{Name: "polarity"}, {Name: "reproduced/runs"},
+		},
 	}
 	mc, err := hammerMachine(seed, 8e-5)
 	if err != nil {
@@ -158,17 +167,23 @@ func E5Reproducibility(seed uint64) (*Table, error) {
 		if f.From == 0 {
 			polarity = "0->1"
 		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(si), fmt.Sprint(f.ByteInPage), fmt.Sprint(f.Bit), polarity,
-			fmt.Sprintf("%d/%d", ok, runs),
-		})
+		t.AddRow(
+			report.Int(si), report.Int(f.ByteInPage), report.Int(int(f.Bit)), report.Str(polarity),
+			report.Frac(ok, runs),
+		)
 		total += runs
 		hit += ok
 	}
-	t.Rows = append(t.Rows, []string{"ALL", "-", "-", "-", fmt.Sprintf("%d/%d (%.2f)", hit, total, float64(hit)/float64(total))})
+	t.AddRow(report.Str("ALL"), report.Dash(), report.Dash(), report.Dash(),
+		report.Strf("%d/%d (%.2f)", hit, total, float64(hit)/float64(total)))
 	t.Notes = append(t.Notes,
 		"each site re-armed (pattern rewrite) and re-hammered with the original aggressors",
 		"reproducibility tracks the model's FlipReliability=0.98 per window")
-	_ = vm.PageSize
+	t.Expect(report.Expectation{
+		Metric: "overall per-site reproduction rate",
+		Row:    -1, Col: -1, Direct: float64(hit) / float64(total),
+		Paper: 0.98, Tol: 0.02,
+		PaperText: "\"high probability\" (model FlipReliability 0.98)", Source: "Sec. VI",
+	})
 	return t, nil
 }

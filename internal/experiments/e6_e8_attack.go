@@ -5,6 +5,7 @@ import (
 
 	"explframe/internal/core"
 	"explframe/internal/dram"
+	"explframe/internal/report"
 	"explframe/internal/rowhammer"
 	"explframe/internal/stats"
 )
@@ -33,10 +34,14 @@ func attackConfig(seed uint64) core.Config {
 // and end-to-end success rates.
 func E6EndToEnd(seed uint64) (*Table, error) {
 	t := &Table{
-		ID:      "E6",
-		Title:   "end-to-end ExplFrame attack (template→plant→steer→re-hammer→PFA)",
-		Claim:   "Sec. VI: targeted Rowhammer on a single victim page without special privilege, exploited via persistent faults [12]",
-		Headers: []string{"scenario", "site_found", "steering", "fault", "key_recovered", "avg_ciphertexts"},
+		ID:    "E6",
+		Title: "end-to-end ExplFrame attack (template→plant→steer→re-hammer→PFA)",
+		Claim: "Sec. VI: targeted Rowhammer on a single victim page without special privilege, exploited via persistent faults [12]",
+		Columns: []report.Column{
+			{Name: "scenario"}, {Name: "site_found", Unit: "fraction"},
+			{Name: "steering", Unit: "fraction"}, {Name: "fault", Unit: "fraction"},
+			{Name: "key_recovered", Unit: "fraction"}, {Name: "avg_ciphertexts", Unit: "ciphertexts"},
+		},
 	}
 	const trials = 10
 
@@ -68,17 +73,35 @@ func E6EndToEnd(seed uint64) (*Table, error) {
 				cts.Observe(float64(rep.CiphertextsUsed))
 			}
 		}
-		avg := "-"
+		avg := report.Dash()
 		if cts.N() > 0 {
-			avg = fmt.Sprintf("%.0f", cts.Mean())
+			avg = report.Float(cts.Mean(), 0)
 		}
-		t.Rows = append(t.Rows, []string{
-			sc.name, f2(site.Rate()), f2(steer.Rate()), f2(fault.Rate()), f2(key.Rate()), avg,
-		})
+		t.AddRow(
+			report.Str(sc.name), f2(site.Rate()), f2(steer.Rate()), f2(fault.Rate()), f2(key.Rate()), avg,
+		)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d trials per scenario; 8 MiB attacker buffer on a 32 MiB module, AES-128 victim", trials),
 		"steering requires a shared CPU and an active attacker, matching Sections V-VI")
+	t.Expect(report.Expectation{
+		Metric: "baseline end-to-end key recovery (same CPU, quiet)",
+		Row:    0, Col: 4,
+		Paper: 0.95, Tol: 0.05,
+		PaperText: ">95% success steering the attack page", Source: "Sec. VII",
+	})
+	t.Expect(report.Expectation{
+		Metric: "cross-CPU victim defeats the attack",
+		Row:    2, Col: 4,
+		Paper: 0.0, Tol: 0.0,
+		PaperText: "per-CPU page frame cache is not shared", Source: "Sec. V",
+	})
+	t.Expect(report.Expectation{
+		Metric: "ciphertexts for PFA key recovery (baseline scenario)",
+		Row:    0, Col: 5,
+		Paper: 2000, Tol: 600,
+		PaperText: "~2000 faulty ciphertexts for AES", Source: "[12] TCHES 2018",
+	})
 	return t, nil
 }
 
@@ -86,10 +109,13 @@ func E6EndToEnd(seed uint64) (*Table, error) {
 // spraying and pagemap-assisted targeting (Section VI's motivation).
 func E8Baselines(seed uint64) (*Table, error) {
 	t := &Table{
-		ID:      "E8",
-		Title:   "attack model comparison: spray vs pagemap vs ExplFrame",
-		Claim:   "Sec. VI: prior attacks either target a large address space or need pagemap (CAP_SYS_ADMIN); ExplFrame targets a single page unprivileged",
-		Headers: []string{"attack", "privilege", "fault_in_table", "notes"},
+		ID:    "E8",
+		Title: "attack model comparison: spray vs pagemap vs ExplFrame",
+		Claim: "Sec. VI: prior attacks either target a large address space or need pagemap (CAP_SYS_ADMIN); ExplFrame targets a single page unprivileged",
+		Columns: []report.Column{
+			{Name: "attack"}, {Name: "privilege"},
+			{Name: "fault_in_table", Unit: "fraction"}, {Name: "notes"},
+		},
 	}
 	const trials = 12
 
@@ -121,10 +147,10 @@ func E8Baselines(seed uint64) (*Table, error) {
 		if kind == core.PagemapTargeted {
 			priv = "CAP_SYS_ADMIN"
 		}
-		t.Rows = append(t.Rows, []string{
-			kind.String(), priv, f2(hit.Rate()),
-			fmt.Sprintf("owned neighbour rows in %d/%d trials", neighbours, trials),
-		})
+		t.AddRow(
+			report.Str(kind.String()), report.Str(priv), f2(hit.Rate()),
+			report.Strf("owned neighbour rows in %d/%d trials", neighbours, trials),
+		)
 	}
 
 	// ExplFrame, success criterion aligned with the baselines (fault
@@ -137,12 +163,24 @@ func E8Baselines(seed uint64) (*Table, error) {
 	for _, rep := range reports {
 		hit.Observe(rep.FaultInjected)
 	}
-	t.Rows = append(t.Rows, []string{
-		"ExplFrame", "none", f2(hit.Rate()),
-		"templating + page frame cache steering",
-	})
+	t.AddRow(
+		report.Str("ExplFrame"), report.Str("none"), f2(hit.Rate()),
+		report.Str("templating + page frame cache steering"),
+	)
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d trials per attack; success = a fault lands in the victim's S-box table", trials),
 		"spray/pagemap depend on the victim frame happening to hold a usable weak cell; ExplFrame chooses the frame")
+	t.Expect(report.Expectation{
+		Metric: "untargeted spraying rarely faults the one victim page",
+		Row:    0, Col: 2,
+		Paper: 0.0, Tol: 0.1,
+		PaperText: "prior attacks target \"a large address space\"", Source: "Sec. VI",
+	})
+	t.Expect(report.Expectation{
+		Metric: "ExplFrame faults the chosen page without privilege",
+		Row:    2, Col: 2,
+		Paper: 0.95, Tol: 0.05,
+		PaperText: ">95% attack-page success", Source: "Sec. VII",
+	})
 	return t, nil
 }

@@ -9,6 +9,7 @@ import (
 	"explframe/internal/fault/dfa"
 	"explframe/internal/fault/pfa"
 	"explframe/internal/harness"
+	"explframe/internal/report"
 	"explframe/internal/stats"
 )
 
@@ -16,10 +17,13 @@ import (
 // for AES-128: residual key entropy and recovery rate vs ciphertext count.
 func E7PFAAES(seed uint64) (*Table, error) {
 	t := &Table{
-		ID:      "E7",
-		Title:   "PFA on AES-128: key entropy vs faulty ciphertexts",
-		Claim:   "Conclusion/[12]: persistent faults \"exploited offline to eventually extract key information\"; TCHES 2018 reports ~2000 ciphertexts for AES",
-		Headers: []string{"ciphertexts", "avg_entropy_bits", "recovered_frac", "positions_determined"},
+		ID:    "E7",
+		Title: "PFA on AES-128: key entropy vs faulty ciphertexts",
+		Claim: "Conclusion/[12]: persistent faults \"exploited offline to eventually extract key information\"; TCHES 2018 reports ~2000 ciphertexts for AES",
+		Columns: []report.Column{
+			{Name: "ciphertexts", Unit: "count"}, {Name: "avg_entropy_bits", Unit: "bits"},
+			{Name: "recovered_frac", Unit: "fraction"}, {Name: "positions_determined", Unit: "of 16"},
+		},
 	}
 	const trials = 32
 	checkpoints := []int{250, 500, 1000, 1500, 2000, 2500, 3000, 4000, 6000}
@@ -94,17 +98,29 @@ func E7PFAAES(seed uint64) (*Table, error) {
 		}
 	}
 	for i, n := range checkpoints {
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(n),
-			f2(entropy[i] / trials),
-			f2(float64(recovered[i]) / trials),
-			f2(positions[i] / trials),
-		})
+		t.AddRow(
+			report.Int(n),
+			f2(entropy[i]/trials),
+			f2(float64(recovered[i])/trials),
+			f2(positions[i]/trials),
+		)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d trials, random keys, random single-bit S-box faults, known-fault recovery", trials),
 		fmt.Sprintf("ciphertexts to full recovery: mean=%.0f p50=%.0f max=%.0f", toRecover.Mean(), toRecover.Quantile(0.5), toRecover.Max()),
 		"shape matches TCHES 2018: coupon-collector convergence, full key around 2-3k ciphertexts")
+	t.Expect(report.Expectation{
+		Metric: "mean ciphertexts to full AES-128 key recovery",
+		Row:    -1, Col: -1, Direct: toRecover.Mean(),
+		Paper: 2000, Tol: 250,
+		PaperText: "~2000 faulty ciphertexts", Source: "[12] TCHES 2018",
+	})
+	t.Expect(report.Expectation{
+		Metric: "all trials recover the key by the final checkpoint",
+		Row:    len(checkpoints) - 1, Col: 2,
+		Paper: 1.0, Tol: 0.0,
+		PaperText: "the key is \"eventually\" extracted", Source: "Conclusion",
+	})
 	return t, nil
 }
 
@@ -112,10 +128,13 @@ func E7PFAAES(seed uint64) (*Table, error) {
 // persistent-fault route ExplFrame enables.
 func E9DFAvsPFA(seed uint64) (*Table, error) {
 	t := &Table{
-		ID:      "E9",
-		Title:   "DFA (transient, Piret-Quisquater) vs PFA (persistent)",
-		Claim:   "context for [12]: DFA needs few pairs but a precisely placed transient fault; PFA needs one persistent flip and only ciphertexts",
-		Headers: []string{"attack", "fault_model", "data", "unique_key_frac", "requirements"},
+		ID:    "E9",
+		Title: "DFA (transient, Piret-Quisquater) vs PFA (persistent)",
+		Claim: "context for [12]: DFA needs few pairs but a precisely placed transient fault; PFA needs one persistent flip and only ciphertexts",
+		Columns: []report.Column{
+			{Name: "attack"}, {Name: "fault_model"}, {Name: "data"},
+			{Name: "unique_key_frac", Unit: "fraction"}, {Name: "requirements"},
+		},
 	}
 	const trials = 16
 
@@ -149,10 +168,10 @@ func E9DFAvsPFA(seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
-			"DFA", "transient, round-9 byte", fmt.Sprintf("%d pairs", perColumn*4),
-			f2(unique.Rate()), "fault timing + location control",
-		})
+		t.AddRow(
+			report.Str("DFA"), report.Str("transient, round-9 byte"), report.Strf("%d pairs", perColumn*4),
+			f2(unique.Rate()), report.Str("fault timing + location control"),
+		)
 	}
 
 	// PFA: recovery probability vs ciphertext budget.
@@ -181,14 +200,26 @@ func E9DFAvsPFA(seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
-			"PFA", "persistent, one S-box bit", fmt.Sprintf("%d ciphertexts", budget),
-			f2(okP.Rate()), "one Rowhammer flip, ciphertext-only",
-		})
+		t.AddRow(
+			report.Str("PFA"), report.Str("persistent, one S-box bit"), report.Strf("%d ciphertexts", budget),
+			f2(okP.Rate()), report.Str("one Rowhammer flip, ciphertext-only"),
+		)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d trials per row", trials),
 		"DFA's fault model is out of reach for Rowhammer (no timing control); PFA's is exactly what ExplFrame plants")
+	t.Expect(report.Expectation{
+		Metric: "DFA uniqueness with two faulty pairs per column",
+		Row:    1, Col: 3,
+		Paper: 1.0, Tol: 0.06,
+		PaperText: "two pairs per column determine the key", Source: "Piret-Quisquater 2003",
+	})
+	t.Expect(report.Expectation{
+		Metric: "PFA recovery rate at a 2500-ciphertext budget",
+		Row:    3, Col: 3,
+		Paper: 1.0, Tol: 0.1,
+		PaperText: "~2000 ciphertexts suffice on average", Source: "[12] TCHES 2018",
+	})
 	return t, nil
 }
 
@@ -196,10 +227,13 @@ func E9DFAvsPFA(seed uint64) (*Table, error) {
 // generalises across block ciphers (the paper's title says "Block Ciphers").
 func E10PFAPresent(seed uint64) (*Table, error) {
 	t := &Table{
-		ID:      "E10",
-		Title:   "PFA on PRESENT-80: key entropy vs faulty ciphertexts",
-		Claim:   "title: fault analysis of block cipherS — the persistent-fault route carries over to PRESENT",
-		Headers: []string{"ciphertexts", "avg_entropy_bits", "recovered_frac"},
+		ID:    "E10",
+		Title: "PFA on PRESENT-80: key entropy vs faulty ciphertexts",
+		Claim: "title: fault analysis of block cipherS — the persistent-fault route carries over to PRESENT",
+		Columns: []report.Column{
+			{Name: "ciphertexts", Unit: "count"}, {Name: "avg_entropy_bits", Unit: "bits"},
+			{Name: "recovered_frac", Unit: "fraction"},
+		},
 	}
 	const trials = 32
 	checkpoints := []int{10, 25, 50, 75, 100, 150, 250, 400}
@@ -256,12 +290,18 @@ func E10PFAPresent(seed uint64) (*Table, error) {
 		}
 	}
 	for i, n := range checkpoints {
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(n), f2(entropy[i] / trials), f2(float64(recovered[i]) / trials),
-		})
+		t.AddRow(
+			report.Int(n), f2(entropy[i]/trials), f2(float64(recovered[i])/trials),
+		)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d trials; K32 recovery via missing nibbles of invPLayer(c); master key needs +2^16 schedule inversions", trials),
 		"4-bit S-box converges ~40x faster than AES's 8-bit table (coupon collector over 16 vs 256 values)")
+	t.Expect(report.Expectation{
+		Metric: "all trials recover PRESENT-80 within 400 ciphertexts",
+		Row:    len(checkpoints) - 1, Col: 2,
+		Paper: 1.0, Tol: 0.0,
+		PaperText: "the attack generalises to other block ciphers", Source: "title/Conclusion",
+	})
 	return t, nil
 }

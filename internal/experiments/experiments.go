@@ -1,69 +1,19 @@
 // Package experiments contains one driver per experiment in the
-// reconstructed evaluation (E1–E15).  Each driver returns a Table that
-// cmd/benchtab renders and bench_test.go wraps in testing.B benchmarks, so
-// the paper's tables and figures regenerate from a single code path; the
-// golden tests under testdata/golden pin every table's seed-1 output.
+// reconstructed evaluation (E1–E15).  Each driver returns a typed
+// report.Table (cells carry kinds and numeric values, columns carry units,
+// expectations carry the paper's reported numbers) that cmd/benchtab and
+// cmd/report render and bench_test.go wraps in testing.B benchmarks, so the
+// paper's tables and figures regenerate from a single code path; the golden
+// tests under testdata/golden pin every table's seed-1 text rendering.
 package experiments
 
 import (
-	"fmt"
-	"strings"
+	"explframe/internal/report"
 )
 
-// Table is one regenerated experiment table/figure series.
-type Table struct {
-	// ID is the experiment identifier from DESIGN.md (e.g. "E3").
-	ID string
-	// Title is a short experiment name.
-	Title string
-	// Claim quotes or paraphrases the paper sentence the experiment tests.
-	Claim string
-	// Headers and Rows hold the tabular series.
-	Headers []string
-	Rows    [][]string
-	// Notes carries caveats (trial counts, seeds, model parameters).
-	Notes []string
-}
-
-// Render formats the table as aligned text.
-func (t *Table) Render() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "== %s: %s\n", t.ID, t.Title)
-	fmt.Fprintf(&sb, "   claim: %s\n", t.Claim)
-	widths := make([]int, len(t.Headers))
-	for i, h := range t.Headers {
-		widths[i] = len(h)
-	}
-	for _, row := range t.Rows {
-		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	line := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				sb.WriteString("  ")
-			}
-			fmt.Fprintf(&sb, "%-*s", widths[i], c)
-		}
-		sb.WriteString("\n")
-	}
-	line(t.Headers)
-	sep := make([]string, len(t.Headers))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
-	}
-	line(sep)
-	for _, row := range t.Rows {
-		line(row)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&sb, "   note: %s\n", n)
-	}
-	return sb.String()
-}
+// Table is the typed experiment table; drivers build it with report's cell
+// constructors and annotate it with paper expectations.
+type Table = report.Table
 
 // Runner is one experiment entry point.
 type Runner struct {
@@ -93,9 +43,9 @@ func All() []Runner {
 	}
 }
 
-// f2 formats a float with two decimals, f3 with three.
-func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
-func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+// f2 builds a two-decimal float cell, f3 a three-decimal one.
+func f2(v float64) report.Cell { return report.Float(v, 2) }
+func f3(v float64) report.Cell { return report.Float(v, 3) }
 
 // label namespaces a stats.DeriveSeed label to one experiment: every
 // experiment derives its sub-seeds as DeriveSeed(seed, label(exp, i)), so

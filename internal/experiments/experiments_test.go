@@ -2,19 +2,39 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"testing"
+
+	"explframe/internal/report"
 )
 
-// parseF parses a float cell.
-func parseF(t *testing.T, s string) float64 {
+// parseF parses a float cell from its canonical text and cross-checks the
+// typed value riding along with it (the text is what the goldens pin, the
+// value is what expectations score — they must agree to rounding).
+func parseF(t *testing.T, c report.Cell) float64 {
 	t.Helper()
-	v, err := strconv.ParseFloat(s, 64)
+	v, err := strconv.ParseFloat(c.Text, 64)
 	if err != nil {
-		t.Fatalf("cell %q not a float: %v", s, err)
+		t.Fatalf("cell %q not a float: %v", c.Text, err)
+	}
+	if !c.Numeric() {
+		t.Fatalf("cell %q parses as a float but is typed %v", c.Text, c.Kind)
+	}
+	if math.Abs(v-c.Value) > 0.51*cellQuantum(c.Text) {
+		t.Fatalf("cell text %q disagrees with typed value %v", c.Text, c.Value)
 	}
 	return v
+}
+
+// cellQuantum returns the resolution of a formatted decimal ("0.075" -> 1e-3).
+func cellQuantum(s string) float64 {
+	dot := strings.IndexByte(s, '.')
+	if dot < 0 {
+		return 1
+	}
+	return math.Pow(10, -float64(len(s)-dot-1))
 }
 
 // All() must return every experiment exactly once, in order: IDs are
@@ -44,9 +64,12 @@ func TestAllRegistered(t *testing.T) {
 func TestTableRender(t *testing.T) {
 	tb := &Table{
 		ID: "EX", Title: "demo", Claim: "c",
-		Headers: []string{"a", "bb"},
-		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
-		Notes:   []string{"n"},
+		Columns: report.Cols("a", "bb"),
+		Rows: [][]report.Cell{
+			{report.Int(1), report.Int(2)},
+			{report.Int(333), report.Int(4)},
+		},
+		Notes: []string{"n"},
 	}
 	out := tb.Render()
 	for _, want := range []string{"EX", "demo", "a", "bb", "333", "note: n"} {
@@ -109,7 +132,7 @@ func TestE3Shape(t *testing.T) {
 	}
 	rates := map[string]float64{}
 	for _, row := range tb.Rows {
-		key := row[0] + "/" + row[1] + "/" + row[2]
+		key := row[0].Text + "/" + row[1].Text + "/" + row[2].Text
 		rates[key] = parseF(t, row[3])
 	}
 	if rates["4/0/same"] < 0.8 {

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"explframe/internal/report"
 )
 
 var update = flag.Bool("update", false, "regenerate the golden experiment tables under testdata/golden")
@@ -70,6 +72,35 @@ func TestGoldenTables(t *testing.T) {
 	}
 }
 
+// TestGoldenMarkdown pins one experiment's Markdown rendering (table,
+// units, notes, expectation badges) the same way the text goldens pin the
+// numbers, so renderer changes to the results book are deliberate.
+// Regenerate with -update.
+func TestGoldenMarkdown(t *testing.T) {
+	tb, err := E2SelfReuse(goldenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := report.Markdown(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", "E2.md")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden markdown (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("E2 markdown drifted:\n%s", renderDiff(string(want), got))
+	}
+}
+
 // Every experiment — including the -short-skipped heavy ones — must have a
 // committed snapshot, so a newly added experiment cannot land unpinned.
 func TestGoldenTablesComplete(t *testing.T) {
@@ -82,7 +113,7 @@ func TestGoldenTablesComplete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	known := map[string]bool{}
+	known := map[string]bool{"E2.md": true} // TestGoldenMarkdown's fixture
 	for _, r := range All() {
 		known[r.ID+".txt"] = true
 	}

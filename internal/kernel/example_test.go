@@ -1,0 +1,59 @@
+package kernel_test
+
+import (
+	"fmt"
+
+	"explframe/internal/kernel"
+	"explframe/internal/mm"
+	"explframe/internal/vm"
+)
+
+// ExampleMachine walks the Section V steering primitive against the kernel
+// API (the full scenario tour is examples/allocator-steering): the attacker
+// maps and touches a buffer, releases one chosen frame into its CPU's page
+// frame cache, stays active, and the victim's next small allocation on the
+// same CPU receives exactly that frame.
+func ExampleMachine() {
+	m, err := kernel.NewMachine(kernel.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	attacker, err := m.Spawn("attacker", 0)
+	if err != nil {
+		panic(err)
+	}
+
+	// Map, touch ("the program must store some data into the allocated
+	// pages"), pick a page, release it.
+	const pages = 64
+	base, err := attacker.Mmap(pages * vm.PageSize)
+	if err != nil {
+		panic(err)
+	}
+	if err := attacker.Touch(base, pages*vm.PageSize); err != nil {
+		panic(err)
+	}
+	target := base + 17*vm.PageSize
+	pa, _ := attacker.Translate(target)
+	planted := mm.PFNOf(pa)
+	if err := attacker.Munmap(target, vm.PageSize); err != nil {
+		panic(err)
+	}
+
+	// The victim arrives on the same CPU and touches one fresh page: the
+	// LIFO page frame cache hands it the planted frame.
+	victim, err := m.Spawn("victim", 0)
+	if err != nil {
+		panic(err)
+	}
+	vbase, err := victim.Mmap(vm.PageSize)
+	if err != nil {
+		panic(err)
+	}
+	if err := victim.Store(vbase, 0xAA); err != nil {
+		panic(err)
+	}
+	vpa, _ := victim.Translate(vbase)
+	fmt.Println("victim received the planted frame:", mm.PFNOf(vpa) == planted)
+	// Output: victim received the planted frame: true
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBuildBook(t *testing.T) {
+	t1 := demo()
+	t1.Expect(Expectation{Metric: "beta rate", Row: 1, Col: 2, Paper: 1.0, Tol: 0.05})
+	t1.Expect(Qualitative("mechanism", "no figure", "Sec. Q"))
+	t2 := &Table{ID: "E99", Title: "second table", Columns: Cols("x")}
+	t2.AddRow(Int(1))
+	t2.Expect(Expectation{Metric: "way off", Row: 0, Col: 0, Paper: 100, Tol: 1})
+
+	book, err := BuildBook(7, []*Table{t1, t2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"seed 7",
+		"## Summary",
+		"| [EX](#ex--demo-table) | demo table | 2 |",
+		"✅ match ×1 · ⚪ n/a ×1",
+		"❌ divergent ×1",
+		"Overall: ✅ match ×1 · ❌ divergent ×1 · ⚪ n/a ×1.",
+		"## EX · demo table",
+		"## E99 · second table",
+	} {
+		if !strings.Contains(book.Markdown, want) {
+			t.Errorf("book markdown missing %q:\n%s", want, book.Markdown)
+		}
+	}
+
+	var decoded struct {
+		Seed        uint64            `json:"seed"`
+		Experiments []json.RawMessage `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(book.JSON), &decoded); err != nil {
+		t.Fatalf("book JSON invalid: %v", err)
+	}
+	if decoded.Seed != 7 || len(decoded.Experiments) != 2 {
+		t.Fatalf("book JSON = seed %d, %d experiments", decoded.Seed, len(decoded.Experiments))
+	}
+	// Each experiment entry round-trips into the model.
+	back, err := FromJSON(decoded.Experiments[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "EX" {
+		t.Errorf("round-tripped id = %q", back.ID)
+	}
+
+	// A book over an invalid table propagates the error.
+	bad := &Table{ID: "B", Columns: Cols("a")}
+	bad.AddRow(Int(1), Int(2))
+	if _, err := BuildBook(1, []*Table{bad}); err == nil {
+		t.Error("BuildBook accepted an invalid table")
+	}
+}
+
+func TestAnchor(t *testing.T) {
+	cases := map[string]string{
+		"E1 · buddy allocator: splits, coalesces, fragmentation under churn": "e1--buddy-allocator-splits-coalesces-fragmentation-under-churn",
+		"E3 · attacker→victim frame steering success rate":                   "e3--attackervictim-frame-steering-success-rate",
+		// GitHub's slugger keeps '-' and '_': the hyphens in "self-reuse"
+		// and "single- vs double-sided" survive into the anchor.
+		"E2 · page frame cache self-reuse probability vs request size": "e2--page-frame-cache-self-reuse-probability-vs-request-size",
+		"E4 · bit flips vs hammer count, single- vs double-sided":      "e4--bit-flips-vs-hammer-count-single--vs-double-sided",
+	}
+	for in, want := range cases {
+		if got := anchor(in); got != want {
+			t.Errorf("anchor(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFirstDiff(t *testing.T) {
+	if d := FirstDiff("a\nb\n", "a\nb\n"); d != "" {
+		t.Errorf("equal inputs diff = %q", d)
+	}
+	if d := FirstDiff("a\nb\n", "a\nc\n"); !strings.Contains(d, "line 2") {
+		t.Errorf("diff = %q, want line 2", d)
+	}
+	if d := FirstDiff("a\n", "a\nb\n"); !strings.Contains(d, "line 2") {
+		t.Errorf("diff = %q, want line 2 (trailing content)", d)
+	}
+	if d := FirstDiff("a", "a\na"); !strings.Contains(d, "line counts differ") {
+		t.Errorf("diff = %q, want line-count message", d)
+	}
+}

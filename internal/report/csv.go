@@ -1,0 +1,43 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+)
+
+// CSV renders the table's series as RFC 4180 CSV: one header record (column
+// names, units appended in parentheses) followed by the rows' canonical
+// text.  Claim, notes and expectations are metadata, not series, and are
+// carried by the Markdown/JSON renderers instead.
+func CSV(t *Table) (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	header := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = c.Name
+		if c.Unit != "" {
+			header[i] = fmt.Sprintf("%s (%s)", c.Name, c.Unit)
+		}
+	}
+	if err := w.Write(header); err != nil {
+		return "", err
+	}
+	rec := make([]string, len(t.Columns))
+	for _, row := range t.Rows {
+		for i, c := range row {
+			rec[i] = c.Text
+		}
+		if err := w.Write(rec); err != nil {
+			return "", err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,153 @@
+package report
+
+import (
+	"fmt"
+	"math"
+)
+
+// NoPaperValue marks an expectation as qualitative: the paper states the
+// claim but reports no number to compare against, so scoring yields
+// VerdictUnscored instead of a match/divergent call.
+var NoPaperValue = math.NaN()
+
+// Expectation records what the source paper (or the cited literature)
+// reports for one metric of a table, so the table can self-score against
+// the reproduction.
+type Expectation struct {
+	// Metric names the compared quantity, e.g. "steering success, quiet
+	// same-CPU".
+	Metric string
+	// Row and Col address the observed cell.  Row == -1 means the metric
+	// is a summary not present in any single cell and Direct holds the
+	// observed value instead.
+	Row, Col int
+	// Direct is the observed value when Row == -1.
+	Direct float64
+	// Paper is the value the paper reports; NoPaperValue (NaN) marks a
+	// qualitative claim with no number attached.
+	Paper float64
+	// PaperText is the quotable form of the paper's figure, e.g. ">95%"
+	// or "~2000 ciphertexts".
+	PaperText string
+	// Tol is the absolute deviation |observed-Paper| still scored as a
+	// match; up to 2x Tol scores "near", beyond that "divergent".  A zero
+	// tolerance demands exact equality.
+	Tol float64
+	// Source cites where the paper states the value, e.g. "Sec. V".
+	Source string
+}
+
+// Qualitative builds an unscored expectation for a claim the paper makes
+// without a number.
+func Qualitative(metric, paperText, source string) Expectation {
+	return Expectation{Metric: metric, Row: -1, Col: -1, Direct: math.NaN(),
+		Paper: NoPaperValue, PaperText: paperText, Source: source}
+}
+
+// validate checks the expectation's cell address against the table.
+func (e Expectation) validate(t *Table, idx int) error {
+	if e.Metric == "" {
+		return fmt.Errorf("report: table %s expectation %d has no metric", t.ID, idx)
+	}
+	if e.Row < 0 {
+		return nil
+	}
+	if e.Row >= len(t.Rows) {
+		return fmt.Errorf("report: table %s expectation %q addresses row %d of %d",
+			t.ID, e.Metric, e.Row, len(t.Rows))
+	}
+	if e.Col < 0 || e.Col >= len(t.Columns) {
+		return fmt.Errorf("report: table %s expectation %q addresses column %d of %d",
+			t.ID, e.Metric, e.Col, len(t.Columns))
+	}
+	if !t.Rows[e.Row][e.Col].Numeric() {
+		return fmt.Errorf("report: table %s expectation %q addresses non-numeric cell (%d,%d) %q",
+			t.ID, e.Metric, e.Row, e.Col, t.Rows[e.Row][e.Col].Text)
+	}
+	return nil
+}
+
+// Verdict is the outcome of scoring one expectation.
+type Verdict string
+
+// The four verdicts an expectation can score.
+const (
+	// VerdictMatch: the observed value is within tolerance of the paper's.
+	VerdictMatch Verdict = "match"
+	// VerdictNear: within twice the tolerance — the right ballpark.
+	VerdictNear Verdict = "near"
+	// VerdictDivergent: the reproduction disagrees with the paper.
+	VerdictDivergent Verdict = "divergent"
+	// VerdictUnscored: the paper gives no number (qualitative claim).
+	VerdictUnscored Verdict = "n/a"
+)
+
+// Badge returns the verdict's Markdown badge for the results book.
+func (v Verdict) Badge() string {
+	switch v {
+	case VerdictMatch:
+		return "✅ match"
+	case VerdictNear:
+		return "🟡 near"
+	case VerdictDivergent:
+		return "❌ divergent"
+	default:
+		return "⚪ n/a"
+	}
+}
+
+// ScoredExpectation pairs an expectation with the value observed in the
+// table and the verdict of comparing the two.
+type ScoredExpectation struct {
+	Expectation
+	// Observed is the reproduced value (NaN for qualitative claims).
+	Observed float64
+	// Verdict classifies |Observed-Paper| against the tolerance.
+	Verdict Verdict
+}
+
+// Score resolves every expectation's observed value and classifies it
+// against the paper's.  It fails on malformed cell addresses (a driver bug)
+// rather than mis-scoring.
+func (t *Table) Score() ([]ScoredExpectation, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	scored := make([]ScoredExpectation, 0, len(t.Expectations))
+	for _, e := range t.Expectations {
+		obs := e.Direct
+		if e.Row >= 0 {
+			obs = t.Rows[e.Row][e.Col].Value
+		}
+		scored = append(scored, ScoredExpectation{
+			Expectation: e,
+			Observed:    obs,
+			Verdict:     score(obs, e.Paper, e.Tol),
+		})
+	}
+	return scored, nil
+}
+
+// score classifies one observation against a paper value and tolerance.
+// The boundaries get a relative epsilon so a deviation of exactly one
+// tolerance (1.00 vs 0.95±0.05) is a match rather than falling to "near"
+// on float rounding; a zero tolerance still demands equality to within
+// that epsilon.
+func score(observed, paper, tol float64) Verdict {
+	if math.IsNaN(paper) {
+		return VerdictUnscored
+	}
+	if math.IsNaN(observed) {
+		return VerdictDivergent
+	}
+	eps := 1e-9 * math.Max(1, math.Abs(paper))
+	d := math.Abs(observed - paper)
+	switch {
+	case d <= tol+eps:
+		return VerdictMatch
+	case d <= 2*tol+eps:
+		return VerdictNear
+	default:
+		return VerdictDivergent
+	}
+}

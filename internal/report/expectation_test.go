@@ -1,0 +1,97 @@
+package report
+
+import (
+	"math"
+	"testing"
+)
+
+// scoreTable builds a one-row table with the given observed value and one
+// expectation against it.
+func scoreTable(observed float64, e Expectation) (*Table, Expectation) {
+	t := &Table{ID: "EX", Columns: Cols("metric", "value")}
+	t.AddRow(Str("m"), Float(observed, 3))
+	if e.Row == 0 {
+		e.Col = 1
+	}
+	t.Expect(e)
+	return t, e
+}
+
+func TestScoreVerdicts(t *testing.T) {
+	cases := []struct {
+		name     string
+		observed float64
+		e        Expectation
+		want     Verdict
+	}{
+		{"exact", 0.95, Expectation{Metric: "m", Paper: 0.95, Tol: 0.05}, VerdictMatch},
+		{"boundary is a match despite float rounding", 1.0, Expectation{Metric: "m", Paper: 0.95, Tol: 0.05}, VerdictMatch},
+		{"within 2x tol", 1.05, Expectation{Metric: "m", Paper: 0.95, Tol: 0.05}, VerdictNear},
+		{"beyond 2x tol", 1.2, Expectation{Metric: "m", Paper: 0.95, Tol: 0.05}, VerdictDivergent},
+		{"zero tolerance, equal", 1.0, Expectation{Metric: "m", Paper: 1.0, Tol: 0}, VerdictMatch},
+		{"zero tolerance, any deviation diverges (no near band)", 1.001, Expectation{Metric: "m", Paper: 1.0, Tol: 0}, VerdictDivergent},
+		{"missing paper value", 0.5, Expectation{Metric: "m", Paper: NoPaperValue}, VerdictUnscored},
+	}
+	for _, tc := range cases {
+		tb, _ := scoreTable(tc.observed, tc.e)
+		scored, err := tb.Score()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(scored) != 1 || scored[0].Verdict != tc.want {
+			t.Errorf("%s: verdict = %v, want %v", tc.name, scored[0].Verdict, tc.want)
+		}
+	}
+}
+
+// A Row of -1 scores the Direct value — summary metrics (means, pooled
+// rates) that no single cell holds.
+func TestScoreDirectObserved(t *testing.T) {
+	tb := &Table{ID: "EX", Columns: Cols("a")}
+	tb.AddRow(Str("text only"))
+	tb.Expect(Expectation{Metric: "mean", Row: -1, Col: -1, Direct: 2271, Paper: 2000, Tol: 250})
+	scored, err := tb.Score()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scored[0].Observed != 2271 || scored[0].Verdict != VerdictNear {
+		t.Errorf("direct scoring = %+v", scored[0])
+	}
+}
+
+// A qualitative expectation never scores, and a NaN observation against a
+// real paper value is divergent (the metric failed to materialise), not a
+// silent skip.
+func TestScoreEdgeValues(t *testing.T) {
+	q := Qualitative("mechanism", "no figure", "Sec. IV")
+	if q.Row != -1 || !math.IsNaN(q.Paper) {
+		t.Fatalf("Qualitative() = %+v", q)
+	}
+	tb := &Table{ID: "EX", Columns: Cols("a")}
+	tb.AddRow(Str("x"))
+	tb.Expect(q)
+	tb.Expect(Expectation{Metric: "vanished", Row: -1, Col: -1, Direct: math.NaN(), Paper: 1, Tol: 0.5})
+	scored, err := tb.Score()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scored[0].Verdict != VerdictUnscored {
+		t.Errorf("qualitative verdict = %v", scored[0].Verdict)
+	}
+	if scored[1].Verdict != VerdictDivergent {
+		t.Errorf("NaN observation verdict = %v, want divergent", scored[1].Verdict)
+	}
+}
+
+func TestVerdictBadges(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		VerdictMatch:     "✅ match",
+		VerdictNear:      "🟡 near",
+		VerdictDivergent: "❌ divergent",
+		VerdictUnscored:  "⚪ n/a",
+	} {
+		if v.Badge() != want {
+			t.Errorf("Badge(%v) = %q", v, v.Badge())
+		}
+	}
+}

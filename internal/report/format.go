@@ -1,0 +1,50 @@
+package report
+
+import "fmt"
+
+// Format names one of the pluggable renderers, as selected by the CLIs'
+// -format flag.
+type Format string
+
+// The four supported output formats.
+const (
+	FormatText     Format = "text"
+	FormatMarkdown Format = "md"
+	FormatCSV      Format = "csv"
+	FormatJSON     Format = "json"
+)
+
+// Formats lists every supported format name, for flag help strings.
+func Formats() []Format {
+	return []Format{FormatText, FormatMarkdown, FormatCSV, FormatJSON}
+}
+
+// ParseFormat validates a -format flag value.
+func ParseFormat(s string) (Format, error) {
+	for _, f := range Formats() {
+		if s == string(f) {
+			return f, nil
+		}
+	}
+	return "", fmt.Errorf("report: unknown format %q (want text, md, csv or json)", s)
+}
+
+// Render dispatches the table to the named renderer.
+func Render(t *Table, f Format) (string, error) {
+	switch f {
+	case FormatText:
+		return Text(t)
+	case FormatMarkdown:
+		return Markdown(t)
+	case FormatCSV:
+		return CSV(t)
+	case FormatJSON:
+		b, err := JSON(t)
+		if err != nil {
+			return "", err
+		}
+		return string(b) + "\n", nil
+	default:
+		return "", fmt.Errorf("report: unknown format %q", f)
+	}
+}

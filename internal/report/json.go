@@ -1,0 +1,154 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// jsonTable is the wire form of a Table.  Expectations are serialised in
+// scored form (observed value and verdict included) so docs/results.json is
+// self-contained for downstream tooling; FromJSON recomputes verdicts from
+// the model, never trusting the stored ones.
+type jsonTable struct {
+	ID           string            `json:"id"`
+	Title        string            `json:"title"`
+	Claim        string            `json:"claim,omitempty"`
+	Columns      []jsonColumn      `json:"columns"`
+	Rows         [][]jsonCell      `json:"rows"`
+	Notes        []string          `json:"notes,omitempty"`
+	Expectations []jsonExpectation `json:"expectations,omitempty"`
+}
+
+type jsonColumn struct {
+	Name string `json:"name"`
+	Unit string `json:"unit,omitempty"`
+}
+
+type jsonCell struct {
+	Kind  string   `json:"kind"`
+	Text  string   `json:"text"`
+	Value *float64 `json:"value,omitempty"`
+}
+
+type jsonExpectation struct {
+	Metric    string   `json:"metric"`
+	Row       int      `json:"row"`
+	Col       int      `json:"col"`
+	Paper     *float64 `json:"paper"` // null = qualitative claim
+	PaperText string   `json:"paper_text,omitempty"`
+	Tol       float64  `json:"tol"`
+	Source    string   `json:"source,omitempty"`
+	Observed  *float64 `json:"observed"` // null = nothing to score
+	Verdict   string   `json:"verdict"`
+}
+
+// optFloat boxes a float for JSON, mapping NaN to null.
+func optFloat(v float64) *float64 {
+	if math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// unboxFloat inverts optFloat.
+func unboxFloat(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
+}
+
+// JSON renders the table, its typed cells and its scored expectations as
+// indented JSON.
+func JSON(t *Table) ([]byte, error) {
+	scored, err := t.Score()
+	if err != nil {
+		return nil, err
+	}
+	jt := jsonTable{
+		ID:      t.ID,
+		Title:   t.Title,
+		Claim:   t.Claim,
+		Columns: make([]jsonColumn, len(t.Columns)),
+		Rows:    make([][]jsonCell, len(t.Rows)),
+		Notes:   t.Notes,
+	}
+	for i, c := range t.Columns {
+		jt.Columns[i] = jsonColumn{Name: c.Name, Unit: c.Unit}
+	}
+	for ri, row := range t.Rows {
+		jr := make([]jsonCell, len(row))
+		for ci, c := range row {
+			jc := jsonCell{Kind: c.Kind.String(), Text: c.Text}
+			if c.Numeric() {
+				jc.Value = optFloat(c.Value)
+			}
+			jr[ci] = jc
+		}
+		jt.Rows[ri] = jr
+	}
+	for _, s := range scored {
+		jt.Expectations = append(jt.Expectations, jsonExpectation{
+			Metric:    s.Metric,
+			Row:       s.Row,
+			Col:       s.Col,
+			Paper:     optFloat(s.Paper),
+			PaperText: s.PaperText,
+			Tol:       s.Tol,
+			Source:    s.Source,
+			Observed:  optFloat(s.Observed),
+			Verdict:   string(s.Verdict),
+		})
+	}
+	return json.MarshalIndent(jt, "", "  ")
+}
+
+// FromJSON reconstructs a Table from JSON's wire form, so rendered results
+// round-trip back into the typed model (results.json -> Table -> Markdown).
+// Stored verdicts are discarded; Score recomputes them.
+func FromJSON(data []byte) (*Table, error) {
+	var jt jsonTable
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return nil, fmt.Errorf("report: decoding table: %w", err)
+	}
+	t := &Table{
+		ID:      jt.ID,
+		Title:   jt.Title,
+		Claim:   jt.Claim,
+		Columns: make([]Column, len(jt.Columns)),
+		Notes:   jt.Notes,
+	}
+	for i, c := range jt.Columns {
+		t.Columns[i] = Column{Name: c.Name, Unit: c.Unit}
+	}
+	for _, jr := range jt.Rows {
+		row := make([]Cell, len(jr))
+		for ci, jc := range jr {
+			row[ci] = Cell{Kind: kindFromString(jc.Kind), Text: jc.Text, Value: unboxFloat(jc.Value)}
+			if !row[ci].Numeric() {
+				row[ci].Value = 0
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	for _, je := range jt.Expectations {
+		e := Expectation{
+			Metric:    je.Metric,
+			Row:       je.Row,
+			Col:       je.Col,
+			Paper:     unboxFloat(je.Paper),
+			PaperText: je.PaperText,
+			Tol:       je.Tol,
+			Source:    je.Source,
+		}
+		if e.Row < 0 {
+			e.Direct = unboxFloat(je.Observed)
+		}
+		t.Expectations = append(t.Expectations, e)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

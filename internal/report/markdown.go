@@ -1,0 +1,118 @@
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Markdown renders the table as GitHub-flavoured Markdown: the claim as a
+// quote, the series as a pipe table (numeric columns right-aligned, units in
+// the header), notes as bullets, and the scored paper expectations as a
+// badge table.
+func Markdown(t *Table) (string, error) {
+	scored, err := t.Score()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## %s · %s\n\n", t.ID, mdEscape(t.Title))
+	if t.Claim != "" {
+		fmt.Fprintf(&sb, "> **Claim.** %s\n\n", mdEscape(t.Claim))
+	}
+
+	sb.WriteString("|")
+	for _, c := range t.Columns {
+		h := c.Name
+		if c.Unit != "" {
+			h = fmt.Sprintf("%s (%s)", c.Name, c.Unit)
+		}
+		fmt.Fprintf(&sb, " %s |", mdEscape(h))
+	}
+	sb.WriteString("\n|")
+	for ci := range t.Columns {
+		if columnNumeric(t, ci) {
+			sb.WriteString(" ---: |")
+		} else {
+			sb.WriteString(" :--- |")
+		}
+	}
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		sb.WriteString("|")
+		for _, c := range row {
+			fmt.Fprintf(&sb, " %s |", mdEscape(c.Text))
+		}
+		sb.WriteString("\n")
+	}
+
+	if len(t.Notes) > 0 {
+		sb.WriteString("\n")
+		for _, n := range t.Notes {
+			fmt.Fprintf(&sb, "- %s\n", mdEscape(n))
+		}
+	}
+
+	if len(scored) > 0 {
+		sb.WriteString("\n**Paper expectations**\n\n")
+		sb.WriteString("| metric | paper | observed | verdict |\n")
+		sb.WriteString("| :--- | :--- | ---: | :--- |\n")
+		for _, s := range scored {
+			fmt.Fprintf(&sb, "| %s | %s | %s | %s |\n",
+				mdEscape(s.Metric), mdEscape(paperLabel(s.Expectation)),
+				mdEscape(observedLabel(s)), s.Verdict.Badge())
+		}
+	}
+	return sb.String(), nil
+}
+
+// columnNumeric reports whether column ci should be right-aligned: every
+// cell is numeric, allowing the conventional "-" placeholder.
+func columnNumeric(t *Table, ci int) bool {
+	any := false
+	for _, row := range t.Rows {
+		c := row[ci]
+		if c.Numeric() {
+			any = true
+		} else if c.Text != "-" {
+			return false
+		}
+	}
+	return any
+}
+
+// paperLabel formats the paper side of an expectation row.
+func paperLabel(e Expectation) string {
+	label := e.PaperText
+	if label == "" {
+		label = formatValue(e.Paper)
+	}
+	if e.Source != "" {
+		label += " (" + e.Source + ")"
+	}
+	return label
+}
+
+// observedLabel formats the observed side of an expectation row.
+func observedLabel(s ScoredExpectation) string {
+	if s.Verdict == VerdictUnscored {
+		return "—"
+	}
+	return formatValue(s.Observed)
+}
+
+// formatValue renders a float compactly (integers without decimals).
+func formatValue(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}
+
+// mdEscape neutralises the characters that would break a Markdown table
+// cell.
+func mdEscape(s string) string {
+	s = strings.ReplaceAll(s, "|", "\\|")
+	s = strings.ReplaceAll(s, "\n", " ")
+	return s
+}

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// JSON must round-trip through the typed model losslessly for rendering
+// purposes: results.json -> FromJSON -> Markdown has to equal the Markdown
+// rendered from the original table, including recomputed verdicts.
+func TestJSONRoundTripToMarkdown(t *testing.T) {
+	tb := demo()
+	tb.Expect(Expectation{Metric: "beta rate reaches 1", Row: 1, Col: 2, Paper: 1.0, Tol: 0.05,
+		PaperText: "~1", Source: "Sec. T"})
+	tb.Expect(Expectation{Metric: "pooled mean", Row: -1, Col: -1, Direct: 3.5, Paper: 4, Tol: 0.25})
+	tb.Expect(Qualitative("mechanism claim", "no figure", "Sec. Q"))
+
+	data, err := JSON(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantMD, err := Markdown(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMD, err := Markdown(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMD != wantMD {
+		t.Errorf("markdown drifted across the JSON round-trip:\n--- original ---\n%s--- round-tripped ---\n%s", wantMD, gotMD)
+	}
+
+	wantText, _ := Text(tb)
+	gotText, err := Text(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotText != wantText {
+		t.Errorf("text drifted across the JSON round-trip:\n%s\nvs\n%s", wantText, gotText)
+	}
+
+	// And the re-serialised JSON is stable (verdicts recomputed, not copied).
+	data2, err := JSON(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data2) != string(data) {
+		t.Errorf("JSON not idempotent:\n%s\nvs\n%s", data, data2)
+	}
+}
+
+func TestFromJSONRejectsGarbage(t *testing.T) {
+	if _, err := FromJSON([]byte("{not json")); err == nil {
+		t.Error("FromJSON accepted malformed JSON")
+	}
+	// Structurally valid JSON, structurally invalid table (ragged row).
+	ragged := `{"id":"EX","title":"t","columns":[{"name":"a"},{"name":"b"}],"rows":[[{"kind":"int","text":"1","value":1}]]}`
+	if _, err := FromJSON([]byte(ragged)); err == nil || !strings.Contains(err.Error(), "row 0") {
+		t.Errorf("FromJSON(ragged) = %v, want arity error", err)
+	}
+}

@@ -32,6 +32,7 @@ func (v VMA) Pages() uint64 { return v.Len() / PageSize }
 // Contains reports whether the address falls inside the area.
 func (v VMA) Contains(va VirtAddr) bool { return va >= v.Start && va < v.End }
 
+// String formats the area as its half-open address range and protection.
 func (v VMA) String() string {
 	return fmt.Sprintf("[%#x,%#x) prot=%d", uint64(v.Start), uint64(v.End), v.Prot)
 }

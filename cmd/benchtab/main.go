@@ -36,7 +36,6 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"trial workers per experiment; tables are identical at any value (deterministic per-trial streams)")
 	flag.Parse()
-	harness.SetWorkers(*parallel)
 
 	f, err := report.ParseFormat(*format)
 	if err != nil {
@@ -83,7 +82,7 @@ func main() {
 	}
 	for i, r := range selected {
 		start := time.Now()
-		tb, err := r.Run(*seed)
+		tb, err := r.Run(*seed, harness.WithWorkers(*parallel))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
 			os.Exit(1)

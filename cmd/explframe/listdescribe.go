@@ -1,0 +1,82 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"explframe/internal/cipher/registry"
+	"explframe/internal/scenario"
+)
+
+// parseBare handles a flagless subcommand's argument list, mapping -h onto
+// exit 0.
+func parseBare(fs *flag.FlagSet, args []string) (code int, ok bool) {
+	switch err := fs.Parse(args); {
+	case err == nil:
+		return 0, true
+	case errors.Is(err, flag.ErrHelp):
+		return 0, false
+	default:
+		return 2, false
+	}
+}
+
+// cmdList prints the built-in scenario presets and the registered ciphers —
+// everything -scenario and -cipher accept by name.
+func cmdList(args []string) int {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	if code, ok := parseBare(fs, args); !ok {
+		return code
+	}
+	fmt.Println("Scenario presets (run with: explframe run -scenario <name>):")
+	for _, p := range scenario.Presets() {
+		fmt.Printf("  %-12s %s\n", p.Name, p.Description)
+	}
+	fmt.Printf("\nRegistered ciphers (-cipher): %s\n", strings.Join(registry.Names(), ", "))
+	fmt.Println("\nDescribe any preset or spec file with: explframe describe <name|file.json>")
+	return 0
+}
+
+// cmdDescribe resolves a preset name or spec/campaign file and prints each
+// member scenario's canonical name, hash, validation verdict and JSON —
+// the ground truth of what `run`/`sweep` would execute.
+func cmdDescribe(args []string) int {
+	fs := flag.NewFlagSet("describe", flag.ContinueOnError)
+	if code, ok := parseBare(fs, args); !ok {
+		return code
+	}
+	if fs.NArg() != 1 {
+		return fail(fmt.Errorf("usage: explframe describe <preset|spec.json>"))
+	}
+	camp, err := loadScenario(fs.Arg(0))
+	if err != nil {
+		return fail(err)
+	}
+	if len(camp.Specs) > 1 {
+		fmt.Printf("campaign %q: %d scenarios\n\n", camp.Name, len(camp.Specs))
+	}
+	code := 0
+	for i, spec := range camp.Specs {
+		if len(camp.Specs) > 1 {
+			fmt.Printf("--- spec %d ---\n", i)
+		}
+		fmt.Printf("name:  %s\n", spec.Name())
+		fmt.Printf("hash:  %016x\n", spec.Hash())
+		if err := spec.Validate(); err != nil {
+			fmt.Printf("valid: NO\n%v\n", err)
+			code = 2
+		} else {
+			fmt.Println("valid: yes")
+		}
+		data, err := spec.EncodeJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		os.Stdout.Write(data)
+	}
+	return code
+}

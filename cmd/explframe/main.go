@@ -1,205 +1,70 @@
-// explframe runs one end-to-end ExplFrame attack on the simulated stack and
-// prints a phase-by-phase report: templating, frame planting, page frame
-// cache steering, re-hammering, and persistent fault analysis.  With
-// -trials > 1 it runs a sweep and renders the per-phase success table in
-// any report format (-format text|md|csv|json, -out FILE).
+// explframe drives ExplFrame attack scenarios on the simulated stack.
+//
+// Usage:
+//
+//	explframe run [flags]        run one scenario and print its report
+//	explframe sweep [flags]      run a scenario or campaign sweep, render a table
+//	explframe list               list built-in scenario presets and ciphers
+//	explframe describe <what>    print a preset's or spec file's canonical JSON
+//	explframe [flags]            legacy alias for run (with -trials > 1: sweep)
+//
+// Scenarios come from three equivalent sources: legacy flags (-cipher,
+// -noise, -trr, ...), built-in presets (see `explframe list`), and JSON
+// spec files (-scenario spec.json).  All three construct the same
+// scenario.Spec and share one execution path, so
+// `explframe run -scenario spec.json` reproduces the byte-identical report
+// of the equivalent flag invocation.
+//
+// Exit codes: 0 success, 1 attack failed (key not recovered) or simulator
+// error, 2 usage/validation error.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"strings"
-	"time"
-
-	"explframe/internal/cipher/registry"
-	"explframe/internal/core"
-	"explframe/internal/dram"
-	"explframe/internal/harness"
-	"explframe/internal/report"
-	"explframe/internal/rowhammer"
-	"explframe/internal/stats"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 1, "attack seed (weak cells, keys, noise)")
-	trials := flag.Int("trials", 1, "independent attack trials to run; >1 prints a success summary instead of one report")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
-		"trial workers for -trials > 1; results are identical at any value (deterministic per-trial streams)")
-	cipher := flag.String("cipher", "aes",
-		fmt.Sprintf("victim cipher, any registered name or alias (%s)", strings.Join(registry.Names(), ", ")))
-	noise := flag.Int("noise", 0, "noise processes churning on the victim CPU")
-	noiseOps := flag.Int("noise-ops", 0, "allocation events the noise performs")
-	crossCPU := flag.Bool("cross-cpu", false, "pin the victim to a different CPU (expected to defeat the attack)")
-	sleep := flag.Bool("sleep", false, "attacker sleeps after planting (expected to defeat the attack)")
-	ciphertexts := flag.Int("ciphertexts", 12000, "faulty ciphertext budget for PFA")
-	trr := flag.Bool("trr", false, "enable the TRR mitigation (tracker 4, threshold 300)")
-	ecc := flag.Bool("ecc", false, "enable SEC-DED ECC")
-	manySided := flag.Int("many-sided", 0, "use many-sided hammering with this many decoy rows (TRR bypass)")
-	format := flag.String("format", "text", "sweep output format (-trials > 1): text, md, csv or json")
-	out := flag.String("out", "", "write the sweep table to this file instead of stdout (-trials > 1)")
-	flag.Parse()
-
-	cfg := core.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.NoiseProcs = *noise
-	cfg.NoiseOps = *noiseOps
-	cfg.AttackerSleeps = *sleep
-	cfg.Ciphertexts = *ciphertexts
-	if *crossCPU {
-		cfg.VictimCPU = 1
-	}
-	if *trr {
-		cfg.Machine.FaultModel.TRR = dram.TRRConfig{Enabled: true, TrackerSize: 4, Threshold: 300}
-	}
-	if *ecc {
-		cfg.Machine.FaultModel.ECC = dram.ECCSecDed
-	}
-	if *manySided > 0 {
-		cfg.Hammer.Mode = rowhammer.ManySided
-		cfg.Hammer.Decoys = *manySided
-	}
-	victim, ok := registry.Get(*cipher)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown cipher %q; registered: %s\n", *cipher, strings.Join(registry.Names(), ", "))
-		os.Exit(2)
-	}
-	cfg.VictimCipher = victim.Name()
-	cfg.VictimKey = core.DefaultVictimKey(victim)
-
-	if *trials > 1 {
-		f, err := report.ParseFormat(*format)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		harness.SetWorkers(*parallel)
-		runSweep(cfg, *trials, f, *out)
-		return
-	}
-
-	fmt.Printf("ExplFrame attack: %s victim, seed %d\n", cfg.VictimCipher, cfg.Seed)
-	fmt.Printf("  machine: %d MiB DRAM, %d CPUs, weak-cell density %g\n",
-		cfg.Machine.Geometry.TotalBytes()>>20, cfg.Machine.NumCPUs, cfg.Machine.FaultModel.WeakCellDensity)
-	fmt.Printf("  attacker: %d MiB buffer on CPU %d; victim: %d pages on CPU %d\n\n",
-		cfg.AttackerMemory>>20, cfg.AttackerCPU, cfg.VictimRequestPages, cfg.VictimCPU)
-
-	atk, err := core.NewAttack(cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "setup: %v\n", err)
-		os.Exit(1)
-	}
-	start := time.Now()
-	rep, err := atk.Run()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "simulator error: %v\n", err)
-		os.Exit(1)
-	}
-	elapsed := time.Since(start)
-
-	fmt.Printf("[template] flips found: %d, usable site: %v\n", rep.FlipsTemplated, rep.SiteFound)
-	if rep.SiteFound {
-		fmt.Printf("           site: page offset %d bit %d (%d->%d), row %d bank %d\n",
-			rep.Site.ByteInPage, rep.Site.Bit, rep.Site.From, 1-rep.Site.From,
-			rep.Site.Agg.VictimRow, rep.Site.Agg.Bank)
-		fmt.Printf("[plant]    released frame PFN %d into the page frame cache\n", rep.PlantedPFN)
-		fmt.Printf("[steer]    victim table frame PFN %d — steering %s\n", rep.VictimTablePFN, verdict(rep.SteeringHit))
-		fmt.Printf("[rehammer] fault in victim table: %s", verdict(rep.FaultInjected))
-		if rep.FaultInjected {
-			fmt.Printf(" (table[%#02x])", rep.CorruptIndex)
-		}
-		fmt.Println()
-		if rep.CiphertextsUsed > 0 || rep.KeyRecovered {
-			fmt.Printf("[analyse]  %d faulty ciphertexts, residual entropy %.1f bits\n",
-				rep.CiphertextsUsed, rep.ResidualEntropy)
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "run":
+			os.Exit(cmdRun(args[1:]))
+		case "sweep":
+			os.Exit(cmdSweep(args[1:]))
+		case "list":
+			os.Exit(cmdList(args[1:]))
+		case "describe":
+			os.Exit(cmdDescribe(args[1:]))
+		case "help", "-h", "-help", "--help":
+			usage(os.Stdout)
+			os.Exit(0)
 		}
 	}
-	fmt.Printf("[hammer]   %d activations across %d runs\n", rep.Hammer.Activations, rep.Hammer.Pairsentries)
-	fmt.Println()
-	if rep.Success() {
-		fmt.Printf("SUCCESS: recovered key %x in %.1fs\n", rep.RecoveredKey, elapsed.Seconds())
-		return
-	}
-	fmt.Printf("FAILED at phase %q: %s (%.1fs)\n", rep.Phase, rep.FailReason, elapsed.Seconds())
-	os.Exit(1)
+	// Bare legacy invocation: flags only, no subcommand.  -trials > 1 keeps
+	// its historical meaning of a sweep.
+	os.Exit(cmdLegacy(args))
 }
 
-func verdict(b bool) string {
-	if b {
-		return "HIT"
-	}
-	return "miss"
-}
+func usage(w *os.File) {
+	fmt.Fprint(w, `explframe — ExplFrame attack scenarios on the simulated stack
 
-// runSweep executes n attack trials on the harness pool and renders the
-// per-phase success rates as a report table — the multi-trial view of the
-// single-run report, in any of the report formats.
-func runSweep(cfg core.Config, n int, f report.Format, out string) {
-	fmt.Fprintf(os.Stderr, "ExplFrame sweep: %s victim, seed %d, %d trials (workers=%d)\n",
-		cfg.VictimCipher, cfg.Seed, n, harness.Workers())
-	start := time.Now()
-	reports, err := core.RunAttackTrials(cfg, n, nil)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "simulator error: %v\n", err)
-		os.Exit(1)
-	}
-	var site, steer, fault, key stats.Proportion
-	var cts stats.Summary
-	for _, rep := range reports {
-		site.Observe(rep.SiteFound)
-		steer.Observe(rep.SteeringHit)
-		fault.Observe(rep.FaultInjected)
-		key.Observe(rep.Success())
-		if rep.Success() {
-			cts.Observe(float64(rep.CiphertextsUsed))
-		}
-	}
+Subcommands:
+  run       run one scenario, print a phase-by-phase report (exit 1 if the
+            attack fails to recover the key)
+  sweep     run a scenario or campaign over many trials, render the success
+            table in any report format
+  list      list built-in scenario presets and registered ciphers
+  describe  print the canonical JSON, name and hash of a preset or spec file
 
-	t := &report.Table{
-		ID:    "sweep",
-		Title: fmt.Sprintf("per-phase success over %d trials (%s victim, seed %d)", n, cfg.VictimCipher, cfg.Seed),
-		Claim: "multi-trial view of the end-to-end pipeline: template → plant → steer → re-hammer → PFA",
-		Columns: []report.Column{
-			{Name: "phase"}, {Name: "event"},
-			{Name: "successes"}, {Name: "trials"}, {Name: "rate", Unit: "fraction"},
-		},
-	}
-	for _, row := range []struct {
-		phase, event string
-		p            stats.Proportion
-	}{
-		{"template", "usable site found", site},
-		{"steer", "frame steered to victim", steer},
-		{"rehammer", "fault planted in table", fault},
-		{"analyse", "key recovered", key},
-	} {
-		t.AddRow(report.Str(row.phase), report.Str(row.event),
-			report.Int(row.p.Successes), report.Int(row.p.Trials), report.Float(row.p.Rate(), 3))
-	}
-	if cts.N() > 0 {
-		t.Notes = append(t.Notes, fmt.Sprintf("ciphertexts to recovery: %s", cts.String()))
-	}
-	// Wall time and worker count go to stderr, not the table: rendered
-	// sweep output must be byte-identical at any -parallel (the repo's
-	// determinism contract).
-	fmt.Fprintf(os.Stderr, "%d trials in %.1fs (workers=%d)\n", n, time.Since(start).Seconds(), harness.Workers())
+Scenario sources (run and sweep):
+  -scenario NAME|FILE   a preset name from 'explframe list' or a JSON spec
+                        file; flags set on the command line override the
+                        loaded spec field by field
+  (flags only)          the classic flag interface builds the same spec
 
-	rendered, err := report.Render(t, f)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "render: %v\n", err)
-		os.Exit(1)
-	}
-	if out != "" {
-		if err := os.WriteFile(out, []byte(rendered), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
-	} else {
-		fmt.Print(rendered)
-	}
-	if key.Successes == 0 {
-		os.Exit(1)
-	}
+Run 'explframe <subcommand> -h' for the flag list.  Invoking explframe with
+bare flags and no subcommand behaves exactly like 'run' (or 'sweep' when
+-trials > 1), so existing scripts keep working.
+`)
 }

@@ -35,10 +35,9 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"trial workers per experiment; the book is identical at any value (deterministic per-trial streams)")
 	flag.Parse()
-	harness.SetWorkers(*parallel)
 
 	if *only != "" {
-		if err := printOnly(*only, *seed); err != nil {
+		if err := printOnly(*only, *seed, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -48,7 +47,7 @@ func main() {
 	tables := make([]*report.Table, 0, len(experiments.All()))
 	for _, r := range experiments.All() {
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", r.ID, r.Name)
-		tb, err := r.Run(*seed)
+		tb, err := r.Run(*seed, harness.WithWorkers(*parallel))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
 			os.Exit(1)
@@ -103,7 +102,7 @@ func main() {
 }
 
 // printOnly renders the selected experiments to stdout as Markdown.
-func printOnly(ids string, seed uint64) error {
+func printOnly(ids string, seed uint64, parallel int) error {
 	want := map[string]bool{}
 	for _, id := range strings.Split(ids, ",") {
 		want[strings.ToUpper(strings.TrimSpace(id))] = true
@@ -113,7 +112,7 @@ func printOnly(ids string, seed uint64) error {
 		if !want[r.ID] {
 			continue
 		}
-		tb, err := r.Run(seed)
+		tb, err := r.Run(seed, harness.WithWorkers(parallel))
 		if err != nil {
 			return fmt.Errorf("%s failed: %w", r.ID, err)
 		}

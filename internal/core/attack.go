@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 
@@ -121,7 +122,18 @@ func (a *Attack) usableFlip(f rowhammer.FlipSite) bool {
 // reserved for simulator malfunctions, not attack failures (those are
 // recorded in the report).
 func (a *Attack) Run() (*Report, error) {
+	return a.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: ctx is checked between phases and
+// inside the ciphertext-collection loop, so a campaign can abandon a run
+// promptly.  On cancellation the report records the phase that was about to
+// start and the returned error is ctx.Err().
+func (a *Attack) RunContext(ctx context.Context) (*Report, error) {
 	rep := &Report{Phase: PhaseSetup, CorruptIndex: -1}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
 
 	// --- Setup: attacker process with a large touched mapping.
 	attacker, err := a.m.Spawn("attacker", a.cfg.AttackerCPU)
@@ -139,6 +151,9 @@ func (a *Attack) Run() (*Report, error) {
 
 	// --- Template: hunt for a flip that would corrupt the victim table.
 	rep.Phase = PhaseTemplate
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
 	site, all, found, err := engine.TemplateUntil(base, a.cfg.AttackerMemory, a.usableFlip)
 	rep.FlipsTemplated = len(all)
 	rep.Hammer = engine.Stats()
@@ -156,6 +171,9 @@ func (a *Attack) Run() (*Report, error) {
 	// the page frame cache.  (The kernel will zero it on reallocation
 	// anyway; the rewrite re-arms the weak cell.)
 	rep.Phase = PhasePlant
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
 	pa, ok := attacker.Translate(site.PageVA)
 	if !ok {
 		return rep, fmt.Errorf("core: templated page not resident")
@@ -182,6 +200,9 @@ func (a *Attack) Run() (*Report, error) {
 	// --- Steer: the victim allocates; its table page should receive the
 	// planted frame.
 	rep.Phase = PhaseSteer
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
 	victim, err := trace.SpawnVictim(a.m, a.cfg.VictimCPU, a.cfg.VictimCipher,
 		a.cfg.VictimKey, a.cfg.VictimRequestPages, a.cfg.VictimTableOffset)
 	if err != nil {
@@ -210,6 +231,9 @@ func (a *Attack) Run() (*Report, error) {
 	// --- Re-hammer the same aggressors; the flip lands in whatever data
 	// now occupies the planted frame.
 	rep.Phase = PhaseRehammer
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
 	if err := engine.HammerDefault(site.Agg); err != nil {
 		return rep, err
 	}
@@ -231,7 +255,10 @@ func (a *Attack) Run() (*Report, error) {
 
 	// --- Analyse: collect faulty ciphertexts, run PFA.
 	rep.Phase = PhaseAnalyse
-	if err := a.analyse(rep, victim, indices, values, cleanPT, cleanCT); err != nil {
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	if err := a.analyse(ctx, rep, victim, indices, values, cleanPT, cleanCT); err != nil {
 		return rep, err
 	}
 	if rep.KeyRecovered {
@@ -248,7 +275,7 @@ func (a *Attack) Run() (*Report, error) {
 // y*_j = S_orig[v_j] and the values y'_j now stored there.  One fault uses
 // the plain elimination attack; collateral extra faults switch to the
 // multi-fault recovery, whose search depth the cipher's RecoverCost bounds.
-func (a *Attack) analyse(rep *Report, victim *trace.Victim, indices []int, values []byte, cleanPT, cleanCT []byte) error {
+func (a *Attack) analyse(ctx context.Context, rep *Report, victim *trace.Victim, indices []int, values []byte, cleanPT, cleanCT []byte) error {
 	c := a.cipher
 	collector := pfa.NewCollector(c)
 	sb := a.sbox
@@ -299,6 +326,9 @@ func (a *Attack) analyse(rep *Report, victim *trace.Victim, indices []int, value
 	}
 	pt := make([]byte, c.BlockSize())
 	for n := 0; n < a.cfg.Ciphertexts; n++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		a.rng.Bytes(pt)
 		ct, err := victim.Encrypt(pt)
 		if err != nil {

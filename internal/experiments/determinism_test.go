@@ -13,24 +13,24 @@ import (
 // that makes the golden tables under testdata/golden machine-independent).
 // The experiments chosen here cover the trial kinds the harness drives:
 // allocator self-reuse (E2), steering sweeps (E14), crypto-only PFA trials
-// (E10) and the registry-wide PFA sweep (E15).
+// (E10) and the registry-wide PFA campaign (E15).  Worker counts are
+// per-call options, so this test mutates no process state and cannot
+// perturb (or be perturbed by) tests running in parallel.
 func TestTablesWorkerCountInvariant(t *testing.T) {
-	runners := map[string]func(uint64) (*Table, error){
+	runners := map[string]func(uint64, ...harness.Option) (*Table, error){
 		"E2":  E2SelfReuse,
 		"E10": E10PFAPresent,
 		"E14": E14PCPPolicy,
 		"E15": E15PFAAllCiphers,
 	}
 	if testing.Short() {
-		runners = map[string]func(uint64) (*Table, error){"E10": E10PFAPresent}
+		runners = map[string]func(uint64, ...harness.Option) (*Table, error){"E10": E10PFAPresent}
 	}
 	workerCounts := []int{1, 4, runtime.NumCPU()}
 	for name, run := range runners {
 		var ref string
 		for _, workers := range workerCounts {
-			prev := harness.SetWorkers(workers)
-			tb, err := run(7)
-			harness.SetWorkers(prev)
+			tb, err := run(7, harness.WithWorkers(workers))
 			if err != nil {
 				t.Fatalf("%s at %d workers: %v", name, workers, err)
 			}
@@ -48,16 +48,14 @@ func TestTablesWorkerCountInvariant(t *testing.T) {
 }
 
 // The heavyweight machine-backed experiment must also be worker-invariant:
-// E6 runs full attack pipelines through core.RunAttackTrials.
+// E6 runs full attack pipelines through the scenario campaign layer.
 func TestAttackTableWorkerCountInvariant(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full end-to-end sweep")
 	}
 	var ref string
 	for _, workers := range []int{1, runtime.NumCPU()} {
-		prev := harness.SetWorkers(workers)
-		tb, err := E6EndToEnd(3)
-		harness.SetWorkers(prev)
+		tb, err := E6EndToEnd(3, harness.WithWorkers(workers))
 		if err != nil {
 			t.Fatalf("E6 at %d workers: %v", workers, err)
 		}

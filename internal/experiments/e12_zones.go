@@ -3,13 +3,14 @@ package experiments
 import (
 	"fmt"
 
+	"explframe/internal/harness"
 	"explframe/internal/mm"
 	"explframe/internal/report"
 )
 
 // E12Zones sweeps allocation pressure and reports how the zonelist fallback
 // distributes requests across zones as the preferred zone drains.
-func E12Zones(seed uint64) (*Table, error) {
+func E12Zones(seed uint64, _ ...harness.Option) (*Table, error) {
 	cfg := mm.DefaultConfig()
 	cfg.TotalBytes = 64 << 20
 	cfg.MinWatermarkPages = 64

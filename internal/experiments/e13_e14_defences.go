@@ -1,20 +1,22 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"explframe/internal/core"
-	"explframe/internal/dram"
+	"explframe/internal/harness"
 	"explframe/internal/report"
-	"explframe/internal/rowhammer"
+	"explframe/internal/scenario"
 	"explframe/internal/stats"
 )
 
 // E13Defences evaluates the attack against the hardware mitigations the
 // Rowhammer literature proposes: TRR (with and without the many-sided
 // bypass) and SEC-DED ECC.  This is the defence discussion the paper's
-// conclusion points at, made quantitative.
-func E13Defences(seed uint64) (*Table, error) {
+// conclusion points at, made quantitative — each row one declarative
+// scenario on the fast profile.
+func E13Defences(seed uint64, opts ...harness.Option) (*Table, error) {
 	t := &Table{
 		ID:    "E13",
 		Title: "defences: TRR, many-sided bypass, ECC",
@@ -26,41 +28,32 @@ func E13Defences(seed uint64) (*Table, error) {
 	}
 	const trials = 8
 
-	type scen struct {
-		name  string
-		mode  rowhammer.Mode
-		decoy int
-		trr   dram.TRRConfig
-		ecc   dram.ECCMode
-		note  string
+	rows := []struct {
+		name, mode, note string
+		opts             []scenario.Option
+	}{
+		{"none", "double-sided", "the paper's DDR3 setting", nil},
+		{"TRR(track=4,thr=300)", "double-sided", "neighbour refresh outruns disturbance",
+			[]scenario.Option{scenario.WithTRR(4, 300)}},
+		{"TRR(track=4,thr=300)", "many-sided", "8 decoys thrash the tracker (TRRespass)",
+			[]scenario.Option{scenario.WithTRR(4, 300), scenario.WithManySided(8)}},
+		{"ECC SEC-DED", "double-sided", "single-bit table faults corrected on read",
+			[]scenario.Option{scenario.WithECC()}},
 	}
-	scens := []scen{
-		{"none", rowhammer.DoubleSided, 0, dram.TRRConfig{}, dram.ECCNone,
-			"the paper's DDR3 setting"},
-		{"TRR(track=4,thr=300)", rowhammer.DoubleSided, 0,
-			dram.TRRConfig{Enabled: true, TrackerSize: 4, Threshold: 300}, dram.ECCNone,
-			"neighbour refresh outruns disturbance"},
-		{"TRR(track=4,thr=300)", rowhammer.ManySided, 8,
-			dram.TRRConfig{Enabled: true, TrackerSize: 4, Threshold: 300}, dram.ECCNone,
-			"8 decoys thrash the tracker (TRRespass)"},
-		{"ECC SEC-DED", rowhammer.DoubleSided, 0, dram.TRRConfig{}, dram.ECCSecDed,
-			"single-bit table faults corrected on read"},
+	camp := scenario.Campaign{Name: "E13"}
+	for si, row := range rows {
+		spec := scenario.New(scenario.WithProfile(scenario.ProfileFast),
+			scenario.WithSeed(stats.DeriveSeed(seed, label(13, uint64(si)))),
+			scenario.WithTrials(trials), scenario.WithLabel(row.name)).With(row.opts...)
+		camp.Specs = append(camp.Specs, spec)
 	}
-	for si, sc := range scens {
-		cfg := attackConfig(stats.DeriveSeed(seed, label(13, uint64(si))))
-		cfg.Machine.FaultModel.TRR = sc.trr
-		cfg.Machine.FaultModel.ECC = sc.ecc
-		cfg.Hammer.Mode = sc.mode
-		cfg.Hammer.Decoys = sc.decoy
-		reports, err := core.RunAttackTrials(cfg, trials, nil)
-		if err != nil {
-			return nil, err
-		}
-		var fault stats.Proportion
-		for _, rep := range reports {
-			fault.Observe(rep.FaultInjected)
-		}
-		t.AddRow(report.Str(sc.name), report.Str(sc.mode.String()), f2(fault.Rate()), report.Str(sc.note))
+	results, err := camp.Run(context.Background(), scenario.WithTrialOptions(opts...))
+	if err != nil {
+		return nil, err
+	}
+	for ri, res := range results {
+		st := res.AttackStats()
+		t.AddRow(report.Str(rows[ri].name), report.Str(rows[ri].mode), f2(st.Fault.Rate()), report.Str(rows[ri].note))
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d end-to-end trials per row; success = fault observed in the victim's table", trials),
@@ -84,7 +77,7 @@ func E13Defences(seed uint64) (*Table, error) {
 // the page frame cache being LIFO.  Switching it to FIFO (and keeping
 // everything else identical) shows how much of the attack is that one
 // policy choice.
-func E14PCPPolicy(seed uint64) (*Table, error) {
+func E14PCPPolicy(seed uint64, opts ...harness.Option) (*Table, error) {
 	t := &Table{
 		ID:    "E14",
 		Title: "ablation: page frame cache service policy (LIFO vs FIFO)",
@@ -105,7 +98,7 @@ func E14PCPPolicy(seed uint64) (*Table, error) {
 			cfg.Seed = stats.DeriveSeed(seed, label(14, uint64(cell)))
 			cfg.VictimRequestPages = pages
 			cell++
-			results, err := core.RunSteeringTrials(cfg, trials)
+			results, err := core.RunSteeringTrials(cfg, trials, opts...)
 			if err != nil {
 				return nil, err
 			}

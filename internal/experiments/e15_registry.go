@@ -1,24 +1,24 @@
 package experiments
 
 import (
-	"bytes"
+	"context"
 	"fmt"
 
 	"explframe/internal/cipher/registry"
-	"explframe/internal/fault/pfa"
 	"explframe/internal/harness"
 	"explframe/internal/report"
+	"explframe/internal/scenario"
 	"explframe/internal/stats"
 )
 
 // E15PFAAllCiphers runs the persistent-fault key-recovery attack over every
 // cipher in the registry with one generic analysis loop — the paper title's
 // "block cipherS" generality made concrete and regression-testable.  Each
-// row is one victim: random keys, one random single-bit S-box fault per
-// trial, recovery via the cipher-agnostic collector, and master-key
-// completion (schedule inversion, plus one clean known pair where the
-// schedule needs it) verified against the true key.
-func E15PFAAllCiphers(seed uint64) (*Table, error) {
+// row is one PFA-kind scenario.Spec: random keys, one random single-bit
+// S-box fault per trial, recovery via the cipher-agnostic collector, and
+// master-key completion (schedule inversion, plus one clean known pair
+// where the schedule needs it) verified against the true key.
+func E15PFAAllCiphers(seed uint64, opts ...harness.Option) (*Table, error) {
 	t := &Table{
 		ID:    "E15",
 		Title: "PFA across the cipher registry (one generic collector, every victim)",
@@ -32,84 +32,38 @@ func E15PFAAllCiphers(seed uint64) (*Table, error) {
 	}
 	const trials = 16
 
+	// The per-cipher seed domain keys on the cipher *name*, not its index
+	// in the sorted registry: registering a new cipher must add a row
+	// without re-randomizing the existing rows' trial streams (and their
+	// golden numbers).
+	camp := scenario.Campaign{Name: "E15"}
 	for _, name := range registry.Names() {
+		camp.Specs = append(camp.Specs, scenario.New(
+			scenario.WithKind(scenario.PFA), scenario.WithCipher(name), scenario.WithTrials(trials),
+			scenario.WithSeed(stats.DeriveSeed(stats.DeriveSeed(seed, label(15, 0)), fnv1a(name)))))
+	}
+	results, err := camp.Run(context.Background(), scenario.WithTrialOptions(opts...))
+	if err != nil {
+		return nil, err
+	}
+
+	for _, res := range results {
+		name := res.Spec.Cipher
 		c := registry.MustGet(name)
-		// Coupon-collector budget scales with the cell alphabet: every value
-		// of a cell must be observed except the vanished one.
-		budget := 25 * (1 << uint(c.EntryBits()))
-
-		type trial struct {
-			recoveredAt int
-			masterOK    bool
-		}
-		// The per-cipher seed domain keys on the cipher *name*, not its
-		// index in the sorted registry: registering a new cipher must add a
-		// row without re-randomizing the existing rows' trial streams (and
-		// their golden numbers).
-		results, err := harness.RunTrials(stats.DeriveSeed(stats.DeriveSeed(seed, label(15, 0)), fnv1a(name)), trials,
-			func(_ int, rng *stats.RNG) (trial, error) {
-				out := trial{recoveredAt: -1}
-				key := make([]byte, c.KeyBytes())
-				rng.Bytes(key)
-				inst, err := c.New(key)
-				if err != nil {
-					return out, err
-				}
-				// Clean pair, captured before the fault lands.
-				cleanPT := make([]byte, c.BlockSize())
-				rng.Bytes(cleanPT)
-				cleanCT := make([]byte, c.BlockSize())
-				inst.Encrypt(c.SBox(), cleanCT, cleanPT)
-
-				faulty := c.SBox()
-				v := rng.Intn(c.TableLen())
-				yStar := faulty[v]
-				faulty[v] ^= byte(1 << uint(rng.Intn(c.EntryBits())))
-
-				col := pfa.NewCollector(c)
-				pt := make([]byte, c.BlockSize())
-				ct := make([]byte, c.BlockSize())
-				for n := 1; n <= budget; n++ {
-					rng.Bytes(pt)
-					inst.Encrypt(faulty, ct, pt)
-					if err := col.Observe(ct); err != nil {
-						return out, err
-					}
-					if _, err := col.RecoverLastRoundKeyKnownFault(yStar); err == nil {
-						out.recoveredAt = n
-						master, err := col.RecoverMasterKnownFault(yStar, cleanPT, cleanCT)
-						out.masterOK = err == nil && bytes.Equal(master, key)
-						break
-					}
-				}
-				return out, nil
-			})
-		if err != nil {
-			return nil, err
-		}
-
-		var recovered, masterOK stats.Proportion
-		var cts stats.Summary
-		for _, tr := range results {
-			recovered.Observe(tr.recoveredAt > 0)
-			masterOK.Observe(tr.masterOK)
-			if tr.recoveredAt > 0 {
-				cts.Observe(float64(tr.recoveredAt))
-			}
-		}
+		st := res.PFAStats()
 		mean, p50, max := report.Dash(), report.Dash(), report.Dash()
-		if cts.N() > 0 {
-			mean = report.Float(cts.Mean(), 0)
-			p50 = report.Float(cts.Quantile(0.5), 0)
-			max = report.Float(cts.Max(), 0)
+		if st.Ciphertexts.N() > 0 {
+			mean = report.Float(st.Ciphertexts.Mean(), 0)
+			p50 = report.Float(st.Ciphertexts.Quantile(0.5), 0)
+			max = report.Float(st.Ciphertexts.Max(), 0)
 		}
 		ri := len(t.Rows)
 		t.AddRow(
 			report.Str(name),
 			report.Strf("%dx%db", c.TableLen(), c.EntryBits()),
 			report.Int(registry.Cells(c)),
-			f2(recovered.Rate()),
-			f2(masterOK.Rate()),
+			f2(st.Recovered.Rate()),
+			f2(st.MasterOK.Rate()),
 			mean, p50, max,
 		)
 		t.Expect(report.Expectation{

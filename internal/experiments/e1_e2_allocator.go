@@ -24,7 +24,7 @@ func smallMachine(seed uint64) kernel.Config {
 // E1Buddy exercises the buddy allocator under a churn workload and reports
 // split/coalesce activity and external fragmentation over time (Fig. 1's
 // mechanism in motion).
-func E1Buddy(seed uint64) (*Table, error) {
+func E1Buddy(seed uint64, _ ...harness.Option) (*Table, error) {
 	cfg := mm.DefaultConfig()
 	cfg.TotalBytes = 64 << 20
 	pm, err := mm.New(cfg)
@@ -93,7 +93,7 @@ func E1Buddy(seed uint64) (*Table, error) {
 // E2SelfReuse measures the probability that a process gets its own recently
 // freed frames back as a function of request size (Section V's
 // "probability of almost 1" claim) for three pcp batch sizes.
-func E2SelfReuse(seed uint64) (*Table, error) {
+func E2SelfReuse(seed uint64, opts ...harness.Option) (*Table, error) {
 	t := &Table{
 		ID:    "E2",
 		Title: "page frame cache self-reuse probability vs request size",
@@ -121,7 +121,7 @@ func E2SelfReuse(seed uint64) (*Table, error) {
 					mc.PCPBatch = pcpBatch
 					mc.PCPHigh = pcpBatch * 6
 					return selfReuse(mc, freed, request)
-				})
+				}, opts...)
 			if err != nil {
 				return nil, err
 			}

@@ -1,20 +1,23 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"explframe/internal/core"
+	"explframe/internal/harness"
 	"explframe/internal/report"
+	"explframe/internal/scenario"
 	"explframe/internal/stats"
 )
 
 // steeringRate runs trials of one steering configuration on the parallel
 // harness and returns the first-page-hit proportion.  The per-trial seeds
 // derive from base.Seed, so a row's statistics are fixed by its seed alone.
-func steeringRate(base core.SteeringConfig, seed uint64, trials int) (stats.Proportion, error) {
+func steeringRate(base core.SteeringConfig, seed uint64, trials int, opts ...harness.Option) (stats.Proportion, error) {
 	base.Seed = seed
 	var p stats.Proportion
-	results, err := core.RunSteeringTrials(base, trials)
+	results, err := core.RunSteeringTrials(base, trials, opts...)
 	if err != nil {
 		return p, err
 	}
@@ -26,7 +29,7 @@ func steeringRate(base core.SteeringConfig, seed uint64, trials int) (stats.Prop
 
 // E3Steering sweeps the steering success rate over victim request size,
 // noise level and CPU placement — the heart of Section V.
-func E3Steering(seed uint64) (*Table, error) {
+func E3Steering(seed uint64, opts ...harness.Option) (*Table, error) {
 	t := &Table{
 		ID:    "E3",
 		Title: "attacker→victim frame steering success rate",
@@ -61,7 +64,7 @@ func E3Steering(seed uint64) (*Table, error) {
 			cfg.VictimCPU = 1
 			cpus = "cross"
 		}
-		p, err := steeringRate(cfg, stats.DeriveSeed(seed, label(3, uint64(ci))), trials)
+		p, err := steeringRate(cfg, stats.DeriveSeed(seed, label(3, uint64(ci))), trials, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -90,8 +93,9 @@ func E3Steering(seed uint64) (*Table, error) {
 }
 
 // E11ActiveWait isolates Section V's requirement that the attacker "must
-// remain active rather than going into inactive state (sleeping)".
-func E11ActiveWait(seed uint64) (*Table, error) {
+// remain active rather than going into inactive state (sleeping)" — four
+// declarative steering scenarios run as one campaign.
+func E11ActiveWait(seed uint64, opts ...harness.Option) (*Table, error) {
 	t := &Table{
 		ID:    "E11",
 		Title: "steering success: active vs sleeping attacker",
@@ -103,32 +107,37 @@ func E11ActiveWait(seed uint64) (*Table, error) {
 	}
 	const trials = 40
 
-	type case_ struct {
+	cases := []struct {
 		sleeps  bool
 		company bool
 		drain   bool
-	}
-	cases := []case_{
+	}{
 		{false, false, true},
 		{true, false, true},
 		{true, true, true},
 		{true, false, false},
 	}
+	camp := scenario.Campaign{Name: "E11"}
 	for ci, c := range cases {
-		cfg := core.DefaultSteeringConfig()
-		cfg.Machine = smallMachine(seed)
-		cfg.Machine.DrainOnIdle = c.drain
-		cfg.AttackerSleeps = c.sleeps
-		if c.company {
-			// A busy peer process keeps the CPU from idling, which is
-			// equivalent (from the allocator's point of view) to disabling
-			// the idle drain while the attacker itself sleeps.
-			cfg.Machine.DrainOnIdle = false
+		spec := scenario.New(scenario.WithKind(scenario.Steering), scenario.WithTrials(trials),
+			scenario.WithSeed(stats.DeriveSeed(seed, label(11, uint64(ci)))))
+		if c.sleeps {
+			spec = spec.With(scenario.WithSleepingAttacker())
 		}
-		p, err := steeringRate(cfg, stats.DeriveSeed(seed, label(11, uint64(ci))), trials)
-		if err != nil {
-			return nil, err
+		// A busy peer process keeps the CPU from idling, which is equivalent
+		// (from the allocator's point of view) to disabling the idle drain
+		// while the attacker itself sleeps.
+		if c.company || !c.drain {
+			spec = spec.With(scenario.WithNoIdleDrain())
 		}
+		camp.Specs = append(camp.Specs, spec)
+	}
+	results, err := camp.Run(context.Background(), scenario.WithTrialOptions(opts...))
+	if err != nil {
+		return nil, err
+	}
+	for ci, res := range results {
+		c := cases[ci]
 		state := "active"
 		if c.sleeps {
 			state = "sleeping"
@@ -137,7 +146,8 @@ func E11ActiveWait(seed uint64) (*Table, error) {
 		if c.company {
 			company = "busy peer"
 		}
-		t.AddRow(report.Str(state), report.Str(company), report.Strf("%v", c.drain), f3(p.Rate()))
+		st := res.SteeringStats()
+		t.AddRow(report.Str(state), report.Str(company), report.Strf("%v", c.drain), f3(st.FirstPage.Rate()))
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d trials per row", trials),

@@ -31,7 +31,7 @@ func hammerMachine(seed uint64, density float64) (kernel.Config, error) {
 // E4HammerOnset measures templated flips as a function of the hammer budget
 // for single- and double-sided strategies (Kim et al.'s onset curves, the
 // basis of the paper's Section VI threat).
-func E4HammerOnset(seed uint64) (*Table, error) {
+func E4HammerOnset(seed uint64, opts ...harness.Option) (*Table, error) {
 	t := &Table{
 		ID:    "E4",
 		Title: "bit flips vs hammer count, single- vs double-sided",
@@ -85,7 +85,7 @@ func E4HammerOnset(seed uint64) (*Table, error) {
 			}
 		}
 		return c, nil
-	})
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +104,7 @@ func E4HammerOnset(seed uint64) (*Table, error) {
 // E5Reproducibility re-hammers templated flip sites and reports how often
 // the same bit flips again (Section VI: "high probability of getting bit
 // flips in the same location").
-func E5Reproducibility(seed uint64) (*Table, error) {
+func E5Reproducibility(seed uint64, _ ...harness.Option) (*Table, error) {
 	t := &Table{
 		ID:    "E5",
 		Title: "per-site flip reproducibility over repeated hammer runs",

@@ -1,38 +1,24 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"explframe/internal/core"
-	"explframe/internal/dram"
+	"explframe/internal/harness"
 	"explframe/internal/report"
-	"explframe/internal/rowhammer"
+	"explframe/internal/scenario"
 	"explframe/internal/stats"
 )
 
-// attackConfig builds the end-to-end configuration used by E6/E8: a small,
-// vulnerable module so each trial stays around a second.
-func attackConfig(seed uint64) core.Config {
-	cfg := core.DefaultConfig()
-	cfg.Seed = seed
-	cfg.Machine.Geometry = dram.Geometry{Channels: 1, DIMMs: 1, Ranks: 1, Banks: 4, Rows: 1024, RowBytes: 8192}
-	cfg.Machine.FaultModel = dram.FaultModel{
-		WeakCellDensity: 2e-4,
-		BaseThreshold:   1500,
-		ThresholdSpread: 0.5,
-		NeighbourWeight: 0.25,
-		RefreshInterval: 1 << 20,
-		FlipReliability: 0.98,
-	}
-	cfg.Hammer = rowhammer.Config{Mode: rowhammer.DoubleSided, PairHammerCount: 3200}
-	cfg.AttackerMemory = 8 << 20
-	cfg.Ciphertexts = 12000
-	return cfg
-}
+// E6 and E8 are scenario-shaped: each table row is one declarative
+// scenario.Spec on the fast profile (the small, vulnerable module that
+// keeps end-to-end trials around a second), executed through
+// scenario.Campaign so the drivers share the exact pipeline cmd/explframe
+// exposes to spec files.
 
 // E6EndToEnd runs the full pipeline across scenarios and reports per-phase
 // and end-to-end success rates.
-func E6EndToEnd(seed uint64) (*Table, error) {
+func E6EndToEnd(seed uint64, opts ...harness.Option) (*Table, error) {
 	t := &Table{
 		ID:    "E6",
 		Title: "end-to-end ExplFrame attack (template→plant→steer→re-hammer→PFA)",
@@ -45,40 +31,31 @@ func E6EndToEnd(seed uint64) (*Table, error) {
 	}
 	const trials = 10
 
-	type scenario struct {
-		name string
-		mod  func(*core.Config)
+	base := scenario.New(scenario.WithProfile(scenario.ProfileFast), scenario.WithTrials(trials))
+	variants := [][]scenario.Option{
+		{scenario.WithLabel("baseline (same CPU, quiet)")},
+		{scenario.WithLabel("noise (2 procs, 150 ops)"), scenario.WithNoise(2, 150)},
+		{scenario.WithLabel("cross-CPU victim"), scenario.WithCrossCPU()},
+		{scenario.WithLabel("sleeping attacker"), scenario.WithSleepingAttacker()},
 	}
-	scenarios := []scenario{
-		{"baseline (same CPU, quiet)", func(c *core.Config) {}},
-		{"noise (2 procs, 150 ops)", func(c *core.Config) { c.NoiseProcs = 2; c.NoiseOps = 150 }},
-		{"cross-CPU victim", func(c *core.Config) { c.VictimCPU = 1 }},
-		{"sleeping attacker", func(c *core.Config) { c.AttackerSleeps = true }},
+	camp := scenario.Campaign{Name: "E6"}
+	for si, v := range variants {
+		spec := base.With(v...).With(scenario.WithSeed(stats.DeriveSeed(seed, label(6, uint64(si)))))
+		camp.Specs = append(camp.Specs, spec)
 	}
-	for si, sc := range scenarios {
-		cfg := attackConfig(stats.DeriveSeed(seed, label(6, uint64(si))))
-		sc.mod(&cfg)
-		reports, err := core.RunAttackTrials(cfg, trials, nil)
-		if err != nil {
-			return nil, err
-		}
-		var site, steer, fault, key stats.Proportion
-		var cts stats.Summary
-		for _, rep := range reports {
-			site.Observe(rep.SiteFound)
-			steer.Observe(rep.SteeringHit)
-			fault.Observe(rep.FaultInjected)
-			key.Observe(rep.Success())
-			if rep.Success() {
-				cts.Observe(float64(rep.CiphertextsUsed))
-			}
-		}
+	results, err := camp.Run(context.Background(), scenario.WithTrialOptions(opts...))
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		st := res.AttackStats()
 		avg := report.Dash()
-		if cts.N() > 0 {
-			avg = report.Float(cts.Mean(), 0)
+		if st.Ciphertexts.N() > 0 {
+			avg = report.Float(st.Ciphertexts.Mean(), 0)
 		}
 		t.AddRow(
-			report.Str(sc.name), f2(site.Rate()), f2(steer.Rate()), f2(fault.Rate()), f2(key.Rate()), avg,
+			report.Str(res.Spec.Label), f2(st.Site.Rate()), f2(st.Steer.Rate()),
+			f2(st.Fault.Rate()), f2(st.Key.Rate()), avg,
 		)
 	}
 	t.Notes = append(t.Notes,
@@ -107,7 +84,7 @@ func E6EndToEnd(seed uint64) (*Table, error) {
 
 // E8Baselines compares ExplFrame against the prior-work models: blind
 // spraying and pagemap-assisted targeting (Section VI's motivation).
-func E8Baselines(seed uint64) (*Table, error) {
+func E8Baselines(seed uint64, opts ...harness.Option) (*Table, error) {
 	t := &Table{
 		ID:    "E8",
 		Title: "attack model comparison: spray vs pagemap vs ExplFrame",
@@ -122,49 +99,35 @@ func E8Baselines(seed uint64) (*Table, error) {
 	// All three rows share one base seed: trial k of every attack model then
 	// draws the same per-trial stream, hence the same machine and weak-cell
 	// layout — a paired comparison of the attacks, not of the layouts.
-	ac := attackConfig(stats.DeriveSeed(seed, label(8, 0)))
+	base := scenario.New(scenario.WithProfile(scenario.ProfileFast),
+		scenario.WithSeed(stats.DeriveSeed(seed, label(8, 0))), scenario.WithTrials(trials))
+	camp := scenario.Campaign{Name: "E8", Specs: []scenario.Spec{
+		base.With(scenario.WithBaseline("random-spray")),
+		base.With(scenario.WithBaseline("pagemap-targeted")),
+		base.With(scenario.WithLabel("ExplFrame")),
+	}}
+	results, err := camp.Run(context.Background(), scenario.WithTrialOptions(opts...))
+	if err != nil {
+		return nil, err
+	}
 
-	// Baselines.
-	for _, kind := range []core.BaselineKind{core.RandomSpray, core.PagemapTargeted} {
-		bc := core.DefaultBaselineConfig(kind)
-		bc.Seed = ac.Seed
-		bc.Machine = ac.Machine
-		bc.Hammer = ac.Hammer
-		bc.AttackerMemory = ac.AttackerMemory
-		results, err := core.RunBaselineTrials(bc, trials)
-		if err != nil {
-			return nil, err
-		}
-		var hit stats.Proportion
-		neighbours := 0
-		for _, res := range results {
-			hit.Observe(res.TableCorrupted)
-			if res.NeighboursOwned {
-				neighbours++
-			}
-		}
+	for _, res := range results[:2] {
+		st := res.BaselineStats()
 		priv := "none"
-		if kind == core.PagemapTargeted {
+		if res.Spec.BaselineModel == "pagemap-targeted" {
 			priv = "CAP_SYS_ADMIN"
 		}
 		t.AddRow(
-			report.Str(kind.String()), report.Str(priv), f2(hit.Rate()),
-			report.Strf("owned neighbour rows in %d/%d trials", neighbours, trials),
+			report.Str(res.Spec.BaselineModel), report.Str(priv), f2(st.Corrupted.Rate()),
+			report.Strf("owned neighbour rows in %d/%d trials", st.NeighboursOwned, trials),
 		)
 	}
 
 	// ExplFrame, success criterion aligned with the baselines (fault
 	// reaches the victim table).
-	var hit stats.Proportion
-	reports, err := core.RunAttackTrials(ac, trials, nil)
-	if err != nil {
-		return nil, err
-	}
-	for _, rep := range reports {
-		hit.Observe(rep.FaultInjected)
-	}
+	st := results[2].AttackStats()
 	t.AddRow(
-		report.Str("ExplFrame"), report.Str("none"), f2(hit.Rate()),
+		report.Str("ExplFrame"), report.Str("none"), f2(st.Fault.Rate()),
 		report.Str("templating + page frame cache steering"),
 	)
 	t.Notes = append(t.Notes,

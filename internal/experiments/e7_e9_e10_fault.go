@@ -15,7 +15,7 @@ import (
 
 // E7PFAAES reproduces the persistent-fault-analysis data-complexity curve
 // for AES-128: residual key entropy and recovery rate vs ciphertext count.
-func E7PFAAES(seed uint64) (*Table, error) {
+func E7PFAAES(seed uint64, opts ...harness.Option) (*Table, error) {
 	t := &Table{
 		ID:    "E7",
 		Title: "PFA on AES-128: key entropy vs faulty ciphertexts",
@@ -76,7 +76,7 @@ func E7PFAAES(seed uint64) (*Table, error) {
 			}
 		}
 		return out, nil
-	})
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +126,7 @@ func E7PFAAES(seed uint64) (*Table, error) {
 
 // E9DFAvsPFA contrasts the classical transient-fault attack with the
 // persistent-fault route ExplFrame enables.
-func E9DFAvsPFA(seed uint64) (*Table, error) {
+func E9DFAvsPFA(seed uint64, opts ...harness.Option) (*Table, error) {
 	t := &Table{
 		ID:    "E9",
 		Title: "DFA (transient, Piret-Quisquater) vs PFA (persistent)",
@@ -164,7 +164,7 @@ func E9DFAvsPFA(seed uint64) (*Table, error) {
 					return false, err
 				}
 				return err == nil && res.Unique && res.K10 == ks.RoundKey(10), nil
-			})
+			}, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -196,7 +196,7 @@ func E9DFAvsPFA(seed uint64) (*Table, error) {
 				}
 				_, err := col.RecoverLastRoundKeyKnownFault(yStar)
 				return err == nil, nil
-			})
+			}, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +225,7 @@ func E9DFAvsPFA(seed uint64) (*Table, error) {
 
 // E10PFAPresent is the PRESENT-80 counterpart of E7, showing the attack
 // generalises across block ciphers (the paper's title says "Block Ciphers").
-func E10PFAPresent(seed uint64) (*Table, error) {
+func E10PFAPresent(seed uint64, opts ...harness.Option) (*Table, error) {
 	t := &Table{
 		ID:    "E10",
 		Title: "PFA on PRESENT-80: key entropy vs faulty ciphertexts",
@@ -270,7 +270,7 @@ func E10PFAPresent(seed uint64) (*Table, error) {
 			}
 		}
 		return out, nil
-	})
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}

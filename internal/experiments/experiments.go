@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"explframe/internal/harness"
 	"explframe/internal/report"
 )
 
@@ -15,11 +16,14 @@ import (
 // constructors and annotate it with paper expectations.
 type Table = report.Table
 
-// Runner is one experiment entry point.
+// Runner is one experiment entry point.  Drivers accept execution options
+// (harness.WithWorkers, harness.WithContext) and forward them to every
+// trial pool they spin up; the options never influence the statistics, so
+// one seed renders one table at any parallelism.
 type Runner struct {
 	ID   string
 	Name string
-	Run  func(seed uint64) (*Table, error)
+	Run  func(seed uint64, opts ...harness.Option) (*Table, error)
 }
 
 // All returns every experiment in order.

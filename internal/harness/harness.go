@@ -1,5 +1,6 @@
 // Package harness is the deterministic parallel trial engine behind the
-// E1–E15 experiment tables and the Monte Carlo sweeps in internal/core.
+// E1–E15 experiment tables, the Monte Carlo sweeps in internal/core and the
+// scenario campaigns in internal/scenario.
 //
 // Every experiment in this repository is a loop of independent trials whose
 // statistics regenerate a table from the paper's evaluation.  RunTrials runs
@@ -10,12 +11,17 @@
 // therefore produces byte-identical tables at any parallelism, which is what
 // makes fault-injection statistics comparable across runs and machines.
 //
+// Execution knobs are per-call options (WithWorkers, WithContext), so two
+// concurrent callers can never perturb each other's pool size; the old
+// process-global SetWorkers knob survives only as a deprecated default.
+//
 // Results come back ordered by trial index and per-trial failures are
 // aggregated (first error wins for the error value; all are preserved via
 // errors.Join), so callers keep simple sequential-looking aggregation code.
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -25,7 +31,7 @@ import (
 	"explframe/internal/stats"
 )
 
-// defaultWorkers is the pool size used when the caller does not specify one;
+// defaultWorkers is the pool size used when no WithWorkers option is given;
 // 0 means runtime.GOMAXPROCS(0) at call time.
 var defaultWorkers atomic.Int64
 
@@ -37,14 +43,49 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// SetWorkers sets the default worker count and returns the previous setting
-// (0 meaning "track GOMAXPROCS").  n <= 0 resets to GOMAXPROCS tracking.
-// CLIs thread their -parallel flag through this knob.
+// SetWorkers sets the process-wide default worker count and returns the
+// previous setting (0 meaning "track GOMAXPROCS").  n <= 0 resets to
+// GOMAXPROCS tracking.
+//
+// Deprecated: the global default is a test-ordering hazard — two callers
+// mutating it race each other.  Pass WithWorkers to the call that needs a
+// specific pool size instead.
 func SetWorkers(n int) int {
 	if n < 0 {
 		n = 0
 	}
 	return int(defaultWorkers.Swap(int64(n)))
+}
+
+// Option adjusts one RunTrials call without touching process state.
+type Option func(*runOpts)
+
+type runOpts struct {
+	workers int
+	ctx     context.Context
+}
+
+// WithWorkers sets the pool size for this call only.  n <= 0 keeps the
+// default (GOMAXPROCS unless overridden by the deprecated SetWorkers).  The
+// trial results are identical at any worker count; only wall time changes.
+func WithWorkers(n int) Option {
+	return func(o *runOpts) {
+		if n > 0 {
+			o.workers = n
+		}
+	}
+}
+
+// WithContext makes the call cancellable: once ctx is done, no further
+// trials start, already-running trials finish, and the returned error
+// includes ctx.Err().  Trials that never ran carry a TrialError wrapping
+// ctx.Err(), so partial aggregates cannot be mistaken for complete ones.
+func WithContext(ctx context.Context) Option {
+	return func(o *runOpts) {
+		if ctx != nil {
+			o.ctx = ctx
+		}
+	}
 }
 
 // TrialError wraps a failure of one trial with its index.
@@ -64,24 +105,24 @@ func (e *TrialError) Unwrap() error { return e.Err }
 // it) and must not share mutable state with other trials.
 type TrialFunc[T any] func(trial int, rng *stats.RNG) (T, error)
 
-// RunTrials executes n independent trials on the default worker pool and
-// returns their results ordered by trial index.  Trial k's rng is
-// stats.NewStream(seed, k), so the result slice is a pure function of
-// (seed, n, fn) — identical at any worker count.
+// RunTrials executes n independent trials on a worker pool and returns their
+// results ordered by trial index.  Trial k's rng is stats.NewStream(seed,
+// k), so the result slice is a pure function of (seed, n, fn) — identical at
+// any worker count.
 //
 // If any trial fails, the returned error joins every per-trial failure (as
 // *TrialError, in trial order) and the results of failed trials are the
-// zero value of T; results of successful trials are still returned.
-func RunTrials[T any](seed uint64, n int, fn TrialFunc[T]) ([]T, error) {
-	return RunTrialsWorkers(Workers(), seed, n, fn)
-}
-
-// RunTrialsWorkers is RunTrials with an explicit pool size.  workers <= 0
-// falls back to the default; the pool never exceeds n.
-func RunTrialsWorkers[T any](workers int, seed uint64, n int, fn TrialFunc[T]) ([]T, error) {
+// zero value of T; results of successful trials are still returned.  With
+// WithContext, cancellation surfaces as ctx.Err() joined into the error.
+func RunTrials[T any](seed uint64, n int, fn TrialFunc[T], opts ...Option) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
+	o := runOpts{ctx: context.Background()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	workers := o.workers
 	if workers <= 0 {
 		workers = Workers()
 	}
@@ -92,32 +133,49 @@ func RunTrialsWorkers[T any](workers int, seed uint64, n int, fn TrialFunc[T]) (
 	results := make([]T, n)
 	errs := make([]error, n)
 
+	run := func(i int) {
+		if o.ctx.Err() != nil {
+			errs[i] = o.ctx.Err()
+			return
+		}
+		results[i], errs[i] = fn(i, stats.NewStream(seed, uint64(i)))
+	}
+
 	if workers == 1 {
 		// Serial fast path: no goroutine or scheduling overhead, same
 		// derivation, so it doubles as the reference for determinism tests.
 		for i := 0; i < n; i++ {
-			results[i], errs[i] = fn(i, stats.NewStream(seed, uint64(i)))
+			run(i)
 		}
-		return results, joinTrialErrors(errs)
-	}
-
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					run(i)
 				}
-				results[i], errs[i] = fn(i, stats.NewStream(seed, uint64(i)))
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	if err := o.ctx.Err(); err != nil {
+		return results, errors.Join(err, joinTrialErrors(errs))
+	}
 	return results, joinTrialErrors(errs)
+}
+
+// RunTrialsWorkers is RunTrials with an explicit pool size.
+//
+// Deprecated: pass WithWorkers(workers) to RunTrials instead.
+func RunTrialsWorkers[T any](workers int, seed uint64, n int, fn TrialFunc[T]) ([]T, error) {
+	return RunTrials(seed, n, fn, WithWorkers(workers))
 }
 
 // joinTrialErrors wraps the non-nil entries as TrialErrors in trial order.
@@ -133,9 +191,9 @@ func joinTrialErrors(errs []error) error {
 
 // Proportion runs n Bernoulli trials and folds the outcomes into a
 // stats.Proportion, the aggregation most experiment tables need.
-func Proportion(seed uint64, n int, fn func(trial int, rng *stats.RNG) (bool, error)) (stats.Proportion, error) {
+func Proportion(seed uint64, n int, fn func(trial int, rng *stats.RNG) (bool, error), opts ...Option) (stats.Proportion, error) {
 	var p stats.Proportion
-	oks, err := RunTrials(seed, n, fn)
+	oks, err := RunTrials(seed, n, fn, opts...)
 	if err != nil {
 		return p, err
 	}

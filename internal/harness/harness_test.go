@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"explframe/internal/stats"
 )
@@ -30,7 +32,7 @@ func TestRunTrialsOrderedAndWorkerInvariant(t *testing.T) {
 		}
 	}
 	for _, workers := range []int{2, 4, 7, runtime.NumCPU() + 3} {
-		got, err := RunTrialsWorkers(workers, seed, n, fn)
+		got, err := RunTrials(seed, n, fn, WithWorkers(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,7 +104,75 @@ func TestRunTrialsEmpty(t *testing.T) {
 	}
 }
 
-// SetWorkers must round-trip and drive RunTrials' default pool.
+// A cancelled context must stop the dispatch promptly: the returned error
+// carries ctx.Err(), unstarted trials carry TrialErrors wrapping it, and
+// trials that did run keep their results.
+func TestRunTrialsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 50
+	ran := 0
+	res, err := RunTrials(3, n, func(trial int, _ *stats.RNG) (int, error) {
+		ran++
+		if trial == 4 {
+			cancel()
+		}
+		return trial + 1, nil
+	}, WithWorkers(1), WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not carry context.Canceled: %v", err)
+	}
+	if ran >= n {
+		t.Fatalf("cancellation did not stop the dispatch (%d/%d trials ran)", ran, n)
+	}
+	for i := 0; i <= 4; i++ {
+		if res[i] != i+1 {
+			t.Fatalf("completed trial %d lost its result: %d", i, res[i])
+		}
+	}
+	var te *TrialError
+	if !errors.As(err, &te) {
+		t.Fatal("unstarted trials should surface as TrialErrors")
+	}
+}
+
+// A context cancelled before the call must return at once, not run anything.
+func TestRunTrialsContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := RunTrials(1, 1000, func(int, *stats.RNG) (int, error) {
+		time.Sleep(50 * time.Millisecond)
+		return 0, nil
+	}, WithWorkers(2), WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("pre-cancelled run took %v", elapsed)
+	}
+}
+
+// WithWorkers must be call-local: two interleaved calls with different
+// worker counts produce identical results and never read each other's size.
+func TestWithWorkersIsCallLocal(t *testing.T) {
+	fn := func(trial int, rng *stats.RNG) (uint64, error) { return rng.Uint64(), nil }
+	a, err := RunTrials(11, 32, fn, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrials(11, 32, fn, WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d diverged across call-local worker counts", i)
+		}
+	}
+}
+
+// SetWorkers must round-trip and drive RunTrials' default pool.  It survives
+// only as a deprecated shim for the old global knob.
 func TestSetWorkers(t *testing.T) {
 	prev := SetWorkers(3)
 	defer SetWorkers(prev)

@@ -1,0 +1,216 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"explframe/internal/harness"
+	"explframe/internal/stats"
+)
+
+// Campaign is a named grid of scenarios executed as one unit — the shape of
+// every multi-row experiment table and of sweep files on disk.
+type Campaign struct {
+	// Name labels the campaign (table IDs, file names, progress lines).
+	Name string `json:"name"`
+	// Specs are the member scenarios, run in declaration order.
+	Specs []Spec `json:"specs"`
+}
+
+// Grid builds a spec per combination of the given option axes applied to
+// base: one axis contributes one option to every combination, and the
+// cross product enumerates in row-major order (the last axis varies
+// fastest).  An empty axis is skipped.
+func Grid(base Spec, axes ...[]Option) []Spec {
+	specs := []Spec{base}
+	for _, axis := range axes {
+		if len(axis) == 0 {
+			continue
+		}
+		next := make([]Spec, 0, len(specs)*len(axis))
+		for _, s := range specs {
+			for _, opt := range axis {
+				next = append(next, s.With(opt))
+			}
+		}
+		specs = next
+	}
+	return specs
+}
+
+// Validate checks every member spec and joins the failures, each prefixed
+// with its index and title.
+func (c *Campaign) Validate() error {
+	var errs []error
+	if len(c.Specs) == 0 {
+		errs = append(errs, errors.New("campaign has no specs"))
+	}
+	for i, s := range c.Specs {
+		if err := s.Validate(); err != nil {
+			errs = append(errs, fmt.Errorf("spec %d (%s): %w", i, s.Title(), err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Dedup returns a copy of the campaign with semantically duplicate specs
+// removed (same canonical Hash; first occurrence wins), the guard sweep
+// frontends use before fanning out an expensive grid.
+func (c *Campaign) Dedup() Campaign {
+	seen := make(map[uint64]bool, len(c.Specs))
+	out := Campaign{Name: c.Name}
+	for _, s := range c.Specs {
+		h := s.Hash()
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		out.Specs = append(out.Specs, s)
+	}
+	return out
+}
+
+// Event reports campaign progress: one event when a spec starts (Result
+// nil, Done false) and one when it finishes (Done true, Result or Err set).
+type Event struct {
+	// Index and Total locate the spec within the campaign.
+	Index, Total int
+	// Spec is the scenario the event concerns.
+	Spec Spec
+	// Result is the outcome (finish events of successful specs only).
+	Result *Result
+	// Err is the failure (finish events of failed specs only).
+	Err error
+	// Done distinguishes finish events from start events.
+	Done bool
+}
+
+// CampaignOption adjusts one Campaign.Run call.
+type CampaignOption func(*campaignOpts)
+
+type campaignOpts struct {
+	progress    func(Event)
+	specWorkers int
+	trialOpts   []harness.Option
+}
+
+// WithProgress registers a progress callback.  Events are delivered
+// serialized (never concurrently), but with parallel specs their order may
+// interleave across specs — use Event.Index to attribute them.
+func WithProgress(fn func(Event)) CampaignOption {
+	return func(o *campaignOpts) { o.progress = fn }
+}
+
+// WithEventChannel delivers progress events to ch instead of a callback.
+// The channel is not closed by Run; sends block, so give it capacity or
+// drain it concurrently.
+func WithEventChannel(ch chan<- Event) CampaignOption {
+	return func(o *campaignOpts) { o.progress = func(e Event) { ch <- e } }
+}
+
+// WithSpecWorkers runs up to n member specs concurrently (default 1:
+// specs run in order, each parallelizing its own trials).  Results are
+// unaffected — the determinism contract holds per spec.
+func WithSpecWorkers(n int) CampaignOption {
+	return func(o *campaignOpts) {
+		if n > 0 {
+			o.specWorkers = n
+		}
+	}
+}
+
+// WithTrialOptions forwards harness options (e.g. harness.WithWorkers) to
+// every member spec's trial pool.
+func WithTrialOptions(opts ...harness.Option) CampaignOption {
+	return func(o *campaignOpts) { o.trialOpts = append(o.trialOpts, opts...) }
+}
+
+// Run validates the campaign and fans its specs out through the harness,
+// honouring ctx mid-campaign: once cancelled, no further spec starts,
+// running specs abort between phases, and the error carries ctx.Err().
+// Results come back in spec order; a failed spec leaves a nil slot and its
+// error joined into the returned error, so one broken scenario does not
+// discard the rest of the grid.
+func (c *Campaign) Run(ctx context.Context, opts ...CampaignOption) ([]*Result, error) {
+	o := campaignOpts{specWorkers: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("campaign %q: %w", c.Name, err)
+	}
+
+	var mu sync.Mutex
+	emit := func(e Event) {
+		if o.progress == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		o.progress(e)
+	}
+
+	// The spec fan-out rides the same harness as the trials beneath it; the
+	// per-spec rng stream is unused because each spec carries its own seed.
+	results, err := harness.RunTrials(0, len(c.Specs), func(i int, _ *stats.RNG) (*Result, error) {
+		spec := c.Specs[i]
+		emit(Event{Index: i, Total: len(c.Specs), Spec: spec})
+		res, err := Run(ctx, spec, o.trialOpts...)
+		emit(Event{Index: i, Total: len(c.Specs), Spec: spec, Result: res, Err: err, Done: true})
+		if err != nil {
+			return nil, fmt.Errorf("spec %d (%s): %w", i, spec.Title(), err)
+		}
+		return res, nil
+	}, harness.WithWorkers(o.specWorkers), harness.WithContext(ctx))
+	if err != nil {
+		return results, fmt.Errorf("campaign %q: %w", c.Name, err)
+	}
+	return results, nil
+}
+
+// EncodeJSON renders the campaign as indented JSON.
+func (c *Campaign) EncodeJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeCampaign parses a campaign from JSON, rejecting unknown fields.
+func DecodeCampaign(data []byte) (Campaign, error) {
+	var c Campaign
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Campaign{}, fmt.Errorf("scenario: decode campaign: %w", err)
+	}
+	return c, nil
+}
+
+// LoadCampaign reads a scenario file: either a campaign object ({"name",
+// "specs"}) or a single spec, which is wrapped as a one-spec campaign named
+// after its title.
+func LoadCampaign(path string) (Campaign, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Campaign{}, fmt.Errorf("scenario: %w", err)
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return Campaign{}, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	if _, isCampaign := probe["specs"]; isCampaign {
+		return DecodeCampaign(data)
+	}
+	spec, err := DecodeSpec(data)
+	if err != nil {
+		return Campaign{}, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return Campaign{Name: spec.Title(), Specs: []Spec{spec}}, nil
+}

@@ -1,0 +1,209 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"explframe/internal/harness"
+)
+
+// Grid must enumerate the cross product in row-major order with the last
+// axis varying fastest.
+func TestGrid(t *testing.T) {
+	base := New(WithKind(Steering), WithTrials(5))
+	specs := Grid(base,
+		[]Option{WithVictimPages(1), WithVictimPages(4)},
+		[]Option{WithSeed(1), WithSeed(2), WithSeed(3)},
+	)
+	if len(specs) != 6 {
+		t.Fatalf("grid size = %d, want 6", len(specs))
+	}
+	wantPages := []int{1, 1, 1, 4, 4, 4}
+	wantSeeds := []uint64{1, 2, 3, 1, 2, 3}
+	for i, s := range specs {
+		if s.Victim.RequestPages != wantPages[i] || s.Seed != wantSeeds[i] {
+			t.Fatalf("cell %d = pages %d seed %d", i, s.Victim.RequestPages, s.Seed)
+		}
+	}
+	if got := Grid(base); len(got) != 1 || got[0].Name() != base.Name() {
+		t.Fatal("axis-free grid should be the base spec alone")
+	}
+}
+
+// Dedup must drop semantically identical specs (Label differences do not
+// make two specs distinct) while preserving first-seen order.
+func TestCampaignDedup(t *testing.T) {
+	c := Campaign{Name: "d", Specs: []Spec{
+		New(WithLabel("a")),
+		New(WithLabel("b")), // same scenario as "a"
+		New(WithSeed(2)),
+	}}
+	out := c.Dedup()
+	if len(out.Specs) != 2 {
+		t.Fatalf("dedup kept %d specs, want 2", len(out.Specs))
+	}
+	if out.Specs[0].Label != "a" || out.Specs[1].Seed != 2 {
+		t.Fatalf("dedup changed order: %+v", out.Specs)
+	}
+}
+
+// Campaign.Validate must name the failing spec by index and title.
+func TestCampaignValidate(t *testing.T) {
+	c := Campaign{Name: "bad", Specs: []Spec{New(), New(WithCipher("des-56"))}}
+	err := c.Validate()
+	if err == nil || !strings.Contains(err.Error(), "spec 1") {
+		t.Fatalf("error does not locate the bad spec: %v", err)
+	}
+	empty := Campaign{Name: "empty"}
+	if empty.Validate() == nil {
+		t.Fatal("empty campaign validated")
+	}
+}
+
+// A campaign run must emit a start and a done event per spec, in spec
+// order when specs run serially, and return results in spec order.
+func TestCampaignRunEvents(t *testing.T) {
+	c := Campaign{Name: "events", Specs: []Spec{
+		New(WithKind(Steering), WithTrials(3), WithSeed(1)),
+		New(WithKind(Steering), WithTrials(3), WithSeed(2)),
+	}}
+	var events []Event
+	results, err := c.Run(context.Background(), WithProgress(func(e Event) { events = append(events, e) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, res := range results {
+		if res == nil || res.Spec.Seed != c.Specs[i].Seed {
+			t.Fatalf("result %d out of order: %+v", i, res)
+		}
+	}
+	if len(events) != 4 {
+		t.Fatalf("%d events, want 4", len(events))
+	}
+	wantDone := []bool{false, true, false, true}
+	wantIdx := []int{0, 0, 1, 1}
+	for i, e := range events {
+		if e.Done != wantDone[i] || e.Index != wantIdx[i] || e.Total != 2 {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		if e.Done && (e.Result == nil || e.Err != nil) {
+			t.Fatalf("done event %d missing result: %+v", i, e)
+		}
+	}
+}
+
+// WithEventChannel must deliver the same events through a channel.
+func TestCampaignEventChannel(t *testing.T) {
+	c := Campaign{Name: "chan", Specs: []Spec{New(WithKind(Steering), WithTrials(2))}}
+	ch := make(chan Event, 8)
+	if _, err := c.Run(context.Background(), WithEventChannel(ch)); err != nil {
+		t.Fatal(err)
+	}
+	close(ch)
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("%d channel events, want 2", n)
+	}
+}
+
+// Cancelling mid-campaign must stop later specs from starting and carry
+// ctx.Err() out of Run.
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := Campaign{Name: "cancel", Specs: []Spec{
+		New(WithKind(Steering), WithTrials(2)),
+		New(WithKind(Steering), WithTrials(2), WithSeed(2)),
+		New(WithKind(Steering), WithTrials(2), WithSeed(3)),
+	}}
+	started := 0
+	_, err := c.Run(ctx, WithProgress(func(e Event) {
+		if !e.Done {
+			started++
+			cancel() // cancel as soon as the first spec starts
+		}
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if started == len(c.Specs) {
+		t.Fatal("cancellation did not stop later specs from starting")
+	}
+}
+
+// Parallel specs share one trial-options slice; Run must copy it before
+// appending its context option, or concurrent specs race on the spare
+// capacity of the backing array (caught under -race).
+func TestCampaignParallelSpecsShareTrialOptions(t *testing.T) {
+	var specs []Spec
+	for i := uint64(1); i <= 6; i++ {
+		specs = append(specs, New(WithKind(Steering), WithTrials(3), WithSeed(i)))
+	}
+	c := Campaign{Name: "parallel", Specs: specs}
+	// Five options leave the accumulated slice with spare capacity
+	// (len 5, cap 8), the exact shape that raced before the copy.
+	noop := func(int) harness.Option { return harness.WithWorkers(1) }
+	results, err := c.Run(context.Background(), WithSpecWorkers(4),
+		WithTrialOptions(noop(0), noop(1), noop(2), noop(3), noop(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res == nil || res.Spec.Seed != specs[i].Seed {
+			t.Fatalf("result %d wrong under parallel specs: %+v", i, res)
+		}
+	}
+}
+
+// LoadCampaign must accept both shapes: a campaign object and a bare spec
+// (wrapped as a one-spec campaign).
+func TestLoadCampaignShapes(t *testing.T) {
+	dir := t.TempDir()
+
+	camp := Campaign{Name: "file-campaign", Specs: []Spec{New(), New(WithSeed(2))}}
+	data, err := camp.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	campPath := filepath.Join(dir, "campaign.json")
+	if err := os.WriteFile(campPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCampaign(campPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "file-campaign" || len(got.Specs) != 2 {
+		t.Fatalf("campaign loaded as %+v", got)
+	}
+
+	spec := New(WithLabel("solo"), WithNoise(2, 150))
+	data, err = spec.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadCampaign(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Specs) != 1 || got.Name != "solo" || got.Specs[0].Noise.Procs != 2 {
+		t.Fatalf("spec loaded as %+v", got)
+	}
+
+	if _, err := LoadCampaign(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}

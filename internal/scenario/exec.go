@@ -1,0 +1,367 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"explframe/internal/cipher/registry"
+	"explframe/internal/core"
+	"explframe/internal/dram"
+	"explframe/internal/fault/pfa"
+	"explframe/internal/harness"
+	"explframe/internal/rowhammer"
+	"explframe/internal/stats"
+)
+
+// fastAttackConfig is the ProfileFast machine: the small, vulnerable 32 MiB
+// module the end-to-end experiment tables (E6/E8/E13) run on so each trial
+// stays around a second.  The numbers are pinned by the golden tables —
+// changing them changes every end-to-end experiment.
+func fastAttackConfig(seed uint64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Machine.Geometry = dram.Geometry{Channels: 1, DIMMs: 1, Ranks: 1, Banks: 4, Rows: 1024, RowBytes: 8192}
+	cfg.Machine.FaultModel = dram.FaultModel{
+		WeakCellDensity: 2e-4,
+		BaseThreshold:   1500,
+		ThresholdSpread: 0.5,
+		NeighbourWeight: 0.25,
+		RefreshInterval: 1 << 20,
+		FlipReliability: 0.98,
+	}
+	cfg.Hammer = rowhammer.Config{Mode: rowhammer.DoubleSided, PairHammerCount: 3200}
+	cfg.AttackerMemory = 8 << 20
+	cfg.Ciphertexts = 12000
+	return cfg
+}
+
+// hammerMode maps a HammerSpec.Mode string onto the engine's enum.
+func hammerMode(mode string) rowhammer.Mode {
+	switch mode {
+	case "single-sided":
+		return rowhammer.SingleSided
+	case "many-sided":
+		return rowhammer.ManySided
+	default:
+		return rowhammer.DoubleSided
+	}
+}
+
+// AttackConfig lowers an Attack-kind spec onto core.Config.  The profile
+// supplies the machine and every default; the spec's non-zero fields
+// override exactly the knobs they name, so a spec built from options equals
+// the hand-mutated config the drivers used to assemble.
+func (s Spec) AttackConfig() (core.Config, error) {
+	c, ok := registry.Get(s.cipherName())
+	if !ok {
+		return core.Config{}, fmt.Errorf("scenario: unknown cipher %q", s.cipherName())
+	}
+	var cfg core.Config
+	switch s.Profile {
+	case ProfileFast:
+		cfg = fastAttackConfig(s.Seed)
+	default:
+		cfg = core.DefaultConfig()
+		cfg.Seed = s.Seed
+	}
+	cfg.VictimCipher = c.Name()
+	cfg.VictimKey = core.DefaultVictimKey(c)
+	cfg.NoiseProcs = s.Noise.Procs
+	cfg.NoiseOps = s.Noise.Ops
+	cfg.AttackerSleeps = s.Attacker.Sleeps
+	if s.Attacker.CrossCPU {
+		cfg.VictimCPU = 1
+	}
+	if s.Attacker.NoIdleDrain {
+		cfg.Machine.DrainOnIdle = false
+	}
+	if s.PCP == PCPFIFO {
+		cfg.Machine.PCPFIFO = true
+	}
+	if s.Victim.RequestPages > 0 {
+		cfg.VictimRequestPages = s.Victim.RequestPages
+	}
+	if s.Ciphertexts > 0 {
+		cfg.Ciphertexts = s.Ciphertexts
+	}
+	if s.Hammer.Mode != "" {
+		cfg.Hammer.Mode = hammerMode(s.Hammer.Mode)
+	}
+	cfg.Hammer.Decoys = s.Hammer.Decoys
+	if s.Hammer.Pairs > 0 {
+		cfg.Hammer.PairHammerCount = s.Hammer.Pairs
+	}
+	if s.Defences.TRR {
+		cfg.Machine.FaultModel.TRR = dram.TRRConfig{
+			Enabled: true, TrackerSize: s.trrTracker(), Threshold: s.trrThreshold(),
+		}
+	}
+	if s.Defences.ECC {
+		cfg.Machine.FaultModel.ECC = dram.ECCSecDed
+	}
+	return cfg, nil
+}
+
+// SteeringConfig lowers a Steering-kind spec onto core.SteeringConfig (the
+// Section V mechanics only; hammer and defence axes do not apply).
+func (s Spec) SteeringConfig() core.SteeringConfig {
+	cfg := core.DefaultSteeringConfig()
+	cfg.Seed = s.Seed
+	cfg.NoiseProcs = s.Noise.Procs
+	cfg.NoiseOps = s.Noise.Ops
+	cfg.AttackerSleeps = s.Attacker.Sleeps
+	if s.Attacker.CrossCPU {
+		cfg.VictimCPU = 1
+	}
+	if s.Attacker.NoIdleDrain {
+		cfg.Machine.DrainOnIdle = false
+	}
+	if s.PCP == PCPFIFO {
+		cfg.Machine.PCPFIFO = true
+	}
+	if s.Victim.RequestPages > 0 {
+		cfg.VictimRequestPages = s.Victim.RequestPages
+	}
+	return cfg
+}
+
+// BaselineConfig lowers a Baseline-kind spec onto core.BaselineConfig.  The
+// machine, hammer and buffer come from the spec's attack lowering, so a
+// baseline spec is the paired comparison of the attack spec with the same
+// seed and profile.
+func (s Spec) BaselineConfig() (core.BaselineConfig, error) {
+	kind := core.RandomSpray
+	if s.BaselineModel == "pagemap-targeted" {
+		kind = core.PagemapTargeted
+	}
+	ac, err := s.AttackConfig()
+	if err != nil {
+		return core.BaselineConfig{}, err
+	}
+	bc := core.DefaultBaselineConfig(kind)
+	bc.Seed = ac.Seed
+	bc.Machine = ac.Machine
+	bc.Hammer = ac.Hammer
+	bc.AttackerMemory = ac.AttackerMemory
+	bc.VictimCipher = ac.VictimCipher
+	bc.VictimKey = ac.VictimKey
+	bc.VictimPages = ac.VictimRequestPages
+	return bc, nil
+}
+
+// PFATrial is one crypto-only persistent-fault trial outcome.
+type PFATrial struct {
+	// RecoveredAt is the ciphertext count at which the last-round key
+	// became unique (-1 if the budget ran out first).
+	RecoveredAt int
+	// MasterOK reports whether the completed master key matched the
+	// victim's.
+	MasterOK bool
+}
+
+// pfaBudget resolves the PFA ciphertext budget: 25 observations per S-box
+// value (the coupon-collector scaling) unless the spec overrides it.
+func (s Spec) pfaBudget(c registry.Cipher) int {
+	if s.Budget > 0 {
+		return s.Budget
+	}
+	return 25 * (1 << uint(c.EntryBits()))
+}
+
+// runPFATrial executes one PFA-kind trial: random key, one random
+// single-bit S-box fault, known-fault recovery via the cipher-agnostic
+// collector, master-key completion verified against the true key.  The
+// draw order is pinned by the E15 golden table.
+func runPFATrial(c registry.Cipher, budget int, rng *stats.RNG) (PFATrial, error) {
+	out := PFATrial{RecoveredAt: -1}
+	key := make([]byte, c.KeyBytes())
+	rng.Bytes(key)
+	inst, err := c.New(key)
+	if err != nil {
+		return out, err
+	}
+	// Clean pair, captured before the fault lands.
+	cleanPT := make([]byte, c.BlockSize())
+	rng.Bytes(cleanPT)
+	cleanCT := make([]byte, c.BlockSize())
+	inst.Encrypt(c.SBox(), cleanCT, cleanPT)
+
+	faulty := c.SBox()
+	v := rng.Intn(c.TableLen())
+	yStar := faulty[v]
+	faulty[v] ^= byte(1 << uint(rng.Intn(c.EntryBits())))
+
+	col := pfa.NewCollector(c)
+	pt := make([]byte, c.BlockSize())
+	ct := make([]byte, c.BlockSize())
+	for n := 1; n <= budget; n++ {
+		rng.Bytes(pt)
+		inst.Encrypt(faulty, ct, pt)
+		if err := col.Observe(ct); err != nil {
+			return out, err
+		}
+		if _, err := col.RecoverLastRoundKeyKnownFault(yStar); err == nil {
+			out.RecoveredAt = n
+			master, err := col.RecoverMasterKnownFault(yStar, cleanPT, cleanCT)
+			out.MasterOK = err == nil && bytes.Equal(master, key)
+			break
+		}
+	}
+	return out, nil
+}
+
+// Result carries one executed scenario: the spec it ran plus the per-trial
+// outcomes of whichever pipeline the kind selected (the other slices stay
+// nil).
+type Result struct {
+	// Spec is the scenario that produced this result.
+	Spec Spec
+	// Attack holds Attack-kind per-trial reports.
+	Attack []*core.Report
+	// Steering holds Steering-kind per-trial results.
+	Steering []*core.SteeringResult
+	// Baseline holds Baseline-kind per-trial results.
+	Baseline []*core.BaselineResult
+	// PFA holds PFA-kind per-trial outcomes.
+	PFA []PFATrial
+}
+
+// AttackStats aggregates Attack-kind trials per phase.
+type AttackStats struct {
+	// Site, Steer, Fault and Key are the per-phase success proportions
+	// (usable flip templated, frame steered, fault planted, key recovered).
+	Site, Steer, Fault, Key stats.Proportion
+	// Ciphertexts summarises the analysis cost of the successful trials.
+	Ciphertexts stats.Summary
+}
+
+// AttackStats folds the attack reports into per-phase proportions.
+func (r *Result) AttackStats() AttackStats {
+	var a AttackStats
+	for _, rep := range r.Attack {
+		a.Site.Observe(rep.SiteFound)
+		a.Steer.Observe(rep.SteeringHit)
+		a.Fault.Observe(rep.FaultInjected)
+		a.Key.Observe(rep.Success())
+		if rep.Success() {
+			a.Ciphertexts.Observe(float64(rep.CiphertextsUsed))
+		}
+	}
+	return a
+}
+
+// SteeringStats aggregates Steering-kind trials.
+type SteeringStats struct {
+	// FirstPage is the precise-steering success proportion (victim's first
+	// touched page received the hottest planted frame).
+	FirstPage stats.Proportion
+	// PlantedReused summarises how many planted frames surfaced anywhere
+	// in the victim's allocation.
+	PlantedReused stats.Summary
+}
+
+// SteeringStats folds the steering results.
+func (r *Result) SteeringStats() SteeringStats {
+	var s SteeringStats
+	for _, res := range r.Steering {
+		s.FirstPage.Observe(res.FirstPageHit)
+		s.PlantedReused.Observe(float64(res.PlantedReused))
+	}
+	return s
+}
+
+// BaselineStats aggregates Baseline-kind trials.
+type BaselineStats struct {
+	// Corrupted is the success proportion (fault reached the victim table).
+	Corrupted stats.Proportion
+	// NeighboursOwned counts trials where the attacker mapped a row
+	// adjacent to the victim row.
+	NeighboursOwned int
+}
+
+// BaselineStats folds the baseline results.
+func (r *Result) BaselineStats() BaselineStats {
+	var b BaselineStats
+	for _, res := range r.Baseline {
+		b.Corrupted.Observe(res.TableCorrupted)
+		if res.NeighboursOwned {
+			b.NeighboursOwned++
+		}
+	}
+	return b
+}
+
+// PFAStats aggregates PFA-kind trials.
+type PFAStats struct {
+	// Recovered and MasterOK are the last-round-key and master-key success
+	// proportions.
+	Recovered, MasterOK stats.Proportion
+	// Ciphertexts summarises the observations needed by successful trials.
+	Ciphertexts stats.Summary
+}
+
+// PFAStats folds the PFA trial outcomes.
+func (r *Result) PFAStats() PFAStats {
+	var p PFAStats
+	for _, tr := range r.PFA {
+		p.Recovered.Observe(tr.RecoveredAt > 0)
+		p.MasterOK.Observe(tr.MasterOK)
+		if tr.RecoveredAt > 0 {
+			p.Ciphertexts.Observe(float64(tr.RecoveredAt))
+		}
+	}
+	return p
+}
+
+// Run validates spec and executes its trials on the harness pool,
+// honouring ctx: cancellation stops the trial dispatch and aborts attack
+// pipelines between phases, returning promptly with an error carrying
+// ctx.Err().  Execution options (harness.WithWorkers) never affect the
+// statistics — one (spec, seed) produces one result at any parallelism.
+func Run(ctx context.Context, spec Spec, opts ...harness.Option) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Title(), err)
+	}
+	res := &Result{Spec: spec}
+	// Copy before appending: the caller's slice may be shared across
+	// parallel campaign specs, and appending into spare capacity would race.
+	opts = append(append(make([]harness.Option, 0, len(opts)+1), opts...), harness.WithContext(ctx))
+	switch spec.Kind {
+	case Attack:
+		cfg, err := spec.AttackConfig()
+		if err != nil {
+			return nil, err
+		}
+		res.Attack, err = core.RunAttackTrialsContext(ctx, cfg, spec.Trials, nil, opts...)
+		if err != nil {
+			return nil, err
+		}
+	case Steering:
+		var err error
+		res.Steering, err = core.RunSteeringTrials(spec.SteeringConfig(), spec.Trials, opts...)
+		if err != nil {
+			return nil, err
+		}
+	case Baseline:
+		cfg, err := spec.BaselineConfig()
+		if err != nil {
+			return nil, err
+		}
+		res.Baseline, err = core.RunBaselineTrials(cfg, spec.Trials, opts...)
+		if err != nil {
+			return nil, err
+		}
+	case PFA:
+		c := registry.MustGet(spec.cipherName())
+		budget := spec.pfaBudget(c)
+		var err error
+		res.PFA, err = harness.RunTrials(spec.Seed, spec.Trials, func(_ int, rng *stats.RNG) (PFATrial, error) {
+			return runPFATrial(c, budget, rng)
+		}, opts...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

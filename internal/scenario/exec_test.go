@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"explframe/internal/core"
+	"explframe/internal/dram"
+	"explframe/internal/harness"
+	"explframe/internal/rowhammer"
+)
+
+// The spec lowering must equal the hand-mutated config the drivers and the
+// legacy CLI used to assemble — that equality is what keeps the golden
+// tables byte-identical across the API redesign.
+func TestAttackConfigMatchesHandMutation(t *testing.T) {
+	spec := New(WithProfile(ProfileFast), WithSeed(77), WithTrials(10),
+		WithNoise(2, 150), WithTRR(0, 0), WithManySided(8))
+	got, err := spec.AttackConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := fastAttackConfig(77)
+	want.NoiseProcs = 2
+	want.NoiseOps = 150
+	want.Machine.FaultModel.TRR = dram.TRRConfig{Enabled: true, TrackerSize: 4, Threshold: 300}
+	want.Hammer.Mode = rowhammer.ManySided
+	want.Hammer.Decoys = 8
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("lowered config diverged:\n got: %+v\nwant: %+v", got, want)
+	}
+
+	// The default profile must lower to core.DefaultConfig + the same
+	// mutations cmd/explframe's legacy flags performed.
+	spec = New(WithSeed(5), WithCrossCPU(), WithSleepingAttacker(), WithECC(), WithCiphertexts(9000))
+	got, err = spec.AttackConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = core.DefaultConfig()
+	want.Seed = 5
+	want.VictimCPU = 1
+	want.AttackerSleeps = true
+	want.Machine.FaultModel.ECC = dram.ECCSecDed
+	want.Ciphertexts = 9000
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("default-profile lowering diverged:\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// Steering lowering mirrors core.DefaultSteeringConfig with the spec's
+// knobs applied.
+func TestSteeringConfigLowering(t *testing.T) {
+	spec := New(WithKind(Steering), WithSeed(9), WithTrials(25),
+		WithSleepingAttacker(), WithNoIdleDrain(), WithPCPFIFO(), WithVictimPages(16))
+	got := spec.SteeringConfig()
+	want := core.DefaultSteeringConfig()
+	want.Seed = 9
+	want.AttackerSleeps = true
+	want.Machine.DrainOnIdle = false
+	want.Machine.PCPFIFO = true
+	want.VictimRequestPages = 16
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("steering lowering diverged:\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// Baseline lowering pairs the baseline with the attack spec of the same
+// seed/profile: same machine, hammer and buffer.
+func TestBaselineConfigLowering(t *testing.T) {
+	spec := New(WithProfile(ProfileFast), WithSeed(3), WithBaseline("pagemap-targeted"), WithTrials(12))
+	got, err := spec.BaselineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := fastAttackConfig(3)
+	if got.Kind != core.PagemapTargeted {
+		t.Fatalf("kind = %v", got.Kind)
+	}
+	if !reflect.DeepEqual(got.Machine, ac.Machine) || !reflect.DeepEqual(got.Hammer, ac.Hammer) ||
+		got.AttackerMemory != ac.AttackerMemory || got.Seed != 3 {
+		t.Fatalf("baseline not paired with its attack config: %+v", got)
+	}
+}
+
+// Run on an invalid spec must fail fast without executing anything.
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	_, err := Run(context.Background(), New(WithCipher("des-56")))
+	if err == nil {
+		t.Fatal("invalid spec ran")
+	}
+}
+
+// A cancelled context must surface promptly from Run with ctx.Err(), even
+// for a spec whose full execution would take far longer than the test.
+func TestRunHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first trial starts
+	spec := New(WithProfile(ProfileFast), WithTrials(64))
+	start := time.Now()
+	_, err := Run(ctx, spec)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled Run took %v", elapsed)
+	}
+}
+
+// Mid-flight cancellation: cancel after a deadline while trials run; Run
+// must return with ctx.Err() without draining the remaining trials.
+func TestRunCancelsMidCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real attack trials")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	spec := New(WithProfile(ProfileFast), WithTrials(500))
+	start := time.Now()
+	_, err := Run(ctx, spec, harness.WithWorkers(2))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v — not prompt", elapsed)
+	}
+}
+
+// A PFA-kind run must execute without the DRAM substrate and recover keys,
+// and its stats must be worker-invariant.
+func TestRunPFAKind(t *testing.T) {
+	spec := New(WithKind(PFA), WithCipher("present-80"), WithTrials(4), WithSeed(11))
+	ref, err := Run(context.Background(), spec, harness.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ref.PFAStats()
+	if st.Recovered.Trials != 4 {
+		t.Fatalf("trials = %d", st.Recovered.Trials)
+	}
+	if st.MasterOK.Successes == 0 {
+		t.Fatal("no PFA trial recovered the master key")
+	}
+	par, err := Run(context.Background(), spec, harness.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.PFA, par.PFA) {
+		t.Fatal("PFA results depend on worker count")
+	}
+}
+
+// A Steering-kind run aggregates first-page hits; quiet same-CPU steering
+// is near deterministic.
+func TestRunSteeringKind(t *testing.T) {
+	spec := New(WithKind(Steering), WithTrials(10), WithSeed(2))
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.SteeringStats()
+	if st.FirstPage.Trials != 10 {
+		t.Fatalf("trials = %d", st.FirstPage.Trials)
+	}
+	if st.FirstPage.Rate() < 0.8 {
+		t.Fatalf("quiet same-CPU steering rate = %f", st.FirstPage.Rate())
+	}
+}

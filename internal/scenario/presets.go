@@ -1,0 +1,102 @@
+package scenario
+
+// Preset is a named, documented scenario the CLI can list, describe and run
+// without a spec file.
+type Preset struct {
+	// Name is the CLI handle (explframe run -scenario <name> also resolves
+	// presets).
+	Name string
+	// Description is the one-line catalogue entry `explframe list` prints.
+	Description string
+	// Spec is the scenario itself.
+	Spec Spec
+}
+
+// Presets returns the built-in scenario catalogue, in display order.  Every
+// entry validates; TestPresetsValid pins that.
+func Presets() []Preset {
+	return []Preset{
+		{
+			Name:        "baseline",
+			Description: "quiet same-CPU AES-128 attack on the default 256 MiB module",
+			Spec:        New(WithLabel("baseline")),
+		},
+		{
+			Name:        "present",
+			Description: "the baseline attack against a PRESENT-80 victim",
+			Spec:        New(WithLabel("present"), WithCipher("present-80")),
+		},
+		{
+			Name:        "lilliput",
+			Description: "the baseline attack against a LILLIPUT-80 victim",
+			Spec:        New(WithLabel("lilliput"), WithCipher("lilliput-80")),
+		},
+		{
+			Name:        "noisy",
+			Description: "attack under allocator churn: 2 noise processes, 150 events",
+			Spec:        New(WithLabel("noisy"), WithNoise(2, 150)),
+		},
+		{
+			Name:        "cross-cpu",
+			Description: "victim pinned to another CPU — expected to defeat steering",
+			Spec:        New(WithLabel("cross-cpu"), WithCrossCPU()),
+		},
+		{
+			Name:        "sleeping",
+			Description: "attacker sleeps after planting — the Section V mistake",
+			Spec:        New(WithLabel("sleeping"), WithSleepingAttacker()),
+		},
+		{
+			Name:        "trr",
+			Description: "double-sided hammering against TRR(track=4,thr=300)",
+			Spec:        New(WithLabel("trr"), WithTRR(0, 0)),
+		},
+		{
+			Name:        "trrespass",
+			Description: "many-sided hammering (8 decoys) bypassing the TRR tracker",
+			Spec:        New(WithLabel("trrespass"), WithTRR(0, 0), WithManySided(8)),
+		},
+		{
+			Name:        "ecc",
+			Description: "attack against SEC-DED ECC correcting single-bit faults",
+			Spec:        New(WithLabel("ecc"), WithECC()),
+		},
+		{
+			Name:        "fifo",
+			Description: "steering sweep with the pcp ablated to FIFO (40 trials)",
+			Spec:        New(WithLabel("fifo"), WithKind(Steering), WithPCPFIFO(), WithTrials(40)),
+		},
+		{
+			Name:        "steer",
+			Description: "steering-only sweep, quiet same-CPU (40 trials)",
+			Spec:        New(WithLabel("steer"), WithKind(Steering), WithTrials(40)),
+		},
+		{
+			Name:        "pfa-aes",
+			Description: "crypto-only PFA on AES-128 (16 trials, no DRAM simulation)",
+			Spec:        New(WithLabel("pfa-aes"), WithKind(PFA), WithTrials(16)),
+		},
+		{
+			Name:        "spray",
+			Description: "prior-work baseline: blind spraying on the fast module (12 trials)",
+			Spec: New(WithLabel("spray"), WithProfile(ProfileFast),
+				WithBaseline("random-spray"), WithTrials(12)),
+		},
+		{
+			Name:        "pagemap",
+			Description: "prior-work baseline: pagemap-targeted hammering (12 trials)",
+			Spec: New(WithLabel("pagemap"), WithProfile(ProfileFast),
+				WithBaseline("pagemap-targeted"), WithTrials(12)),
+		},
+	}
+}
+
+// LookupPreset resolves a preset by name.
+func LookupPreset(name string) (Preset, bool) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Preset{}, false
+}

@@ -1,0 +1,505 @@
+// Package scenario makes ExplFrame evaluation scenarios first-class values.
+//
+// A Spec declares one scenario — victim cipher, deployed defences, hammer
+// strategy, allocator noise, attacker behaviour, ciphertext budget, pcp
+// policy and trial count — as plain serializable data.  Specs are built with
+// functional options (New, With), validated with joined field errors
+// (Validate), named and hashed canonically for dedup and golden keys
+// (Name, Hash), and round-trip losslessly through JSON so they can live in
+// files next to the code that runs them.
+//
+// On top of the declarative layer sits context-aware execution: Run
+// executes one spec's trials on the deterministic harness pool, and
+// Campaign fans a named grid of specs out through internal/harness with
+// cancellation and progress events.  Every frontend — cmd/explframe, the
+// E6/E8/E11/E13/E15 experiment drivers, future service endpoints —
+// constructs the same Spec values and shares one execution path, so the
+// statistics a scenario produces are fixed by (spec, seed) alone.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"explframe/internal/cipher/registry"
+)
+
+// Kind selects which trial pipeline a Spec drives.
+type Kind string
+
+// The four scenario kinds, one per trial pipeline in internal/core and
+// internal/fault/pfa.
+const (
+	// Attack runs the full pipeline: template → plant → steer → re-hammer
+	// → persistent fault analysis.
+	Attack Kind = "attack"
+	// Steering runs the Section V page-frame-cache mechanics only (no
+	// hammering) — cheap enough for thousand-trial sweeps.
+	Steering Kind = "steering"
+	// Baseline runs a prior-work attack model (random spraying or
+	// pagemap-assisted targeting) for comparison tables.
+	Baseline Kind = "baseline"
+	// PFA runs the crypto-only persistent-fault key recovery: a random
+	// single-bit S-box fault and ciphertext collection, no simulated DRAM.
+	PFA Kind = "pfa"
+)
+
+// Profile selects the simulated machine the scenario runs on.
+type Profile string
+
+// The built-in machine profiles.
+const (
+	// ProfileDefault is the 256 MiB module of core.DefaultConfig — the
+	// paper-proportioned setting cmd/explframe uses.
+	ProfileDefault Profile = "default"
+	// ProfileFast is the small, vulnerable 32 MiB module the end-to-end
+	// experiment tables (E6/E8/E13) use so every trial stays ~1 s.
+	ProfileFast Profile = "fast"
+)
+
+// HammerSpec declares the Rowhammer strategy.  Zero values inherit the
+// profile's defaults (double-sided at the profile's pair count).
+type HammerSpec struct {
+	// Mode is "", "single-sided", "double-sided" or "many-sided".
+	Mode string `json:"mode,omitempty"`
+	// Decoys is the tracker-thrashing row count; requires many-sided mode.
+	Decoys int `json:"decoys,omitempty"`
+	// Pairs overrides the activation pairs per hammer run (0 = profile
+	// default).
+	Pairs int `json:"pairs,omitempty"`
+}
+
+// DefenceSpec declares the deployed DRAM mitigations.
+type DefenceSpec struct {
+	// TRR enables target-row-refresh with the given tracker geometry.
+	TRR bool `json:"trr,omitempty"`
+	// TRRTracker is the TRR tracker size (0 = 4, the E13 setting).
+	TRRTracker int `json:"trr_tracker,omitempty"`
+	// TRRThreshold is the TRR refresh threshold (0 = 300).
+	TRRThreshold int `json:"trr_threshold,omitempty"`
+	// ECC enables SEC-DED correction on reads.
+	ECC bool `json:"ecc,omitempty"`
+}
+
+// NoiseSpec declares unrelated allocation churn on the victim CPU between
+// plant and steer.
+type NoiseSpec struct {
+	// Procs is the number of background noise processes.
+	Procs int `json:"procs,omitempty"`
+	// Ops is the number of allocation events the noise performs.
+	Ops int `json:"ops,omitempty"`
+}
+
+// AttackerSpec declares the attacker's scheduling behaviour.
+type AttackerSpec struct {
+	// Sleeps sends the attacker idle after planting — the mistake Section V
+	// warns about.
+	Sleeps bool `json:"sleeps,omitempty"`
+	// CrossCPU pins the victim to a different CPU than the attacker.
+	CrossCPU bool `json:"cross_cpu,omitempty"`
+	// NoIdleDrain disables the kernel's pcp drain on CPU idle — the E11
+	// ablation, equivalent to a busy peer process keeping the CPU awake.
+	NoIdleDrain bool `json:"no_idle_drain,omitempty"`
+}
+
+// VictimSpec declares the victim process's allocation shape.
+type VictimSpec struct {
+	// RequestPages is the size of the victim's single mmap request
+	// (0 = the 4-page default).
+	RequestPages int `json:"request_pages,omitempty"`
+}
+
+// PCP policies for the page-frame-cache ablation.
+const (
+	// PCPLIFO is Linux's policy — the one the steering primitive exploits.
+	PCPLIFO = "lifo"
+	// PCPFIFO is the ablated policy of experiment E14.
+	PCPFIFO = "fifo"
+)
+
+// Spec declares one scenario.  The zero value of every optional field means
+// "inherit the profile default", so a Spec serializes to exactly the knobs
+// the scenario turns.  Build Specs with New/With rather than struct
+// literals so defaults stay in one place.
+type Spec struct {
+	// Label is an optional human-readable name (table row captions).  It is
+	// ignored by Name, Hash and Validate: two specs differing only in Label
+	// are the same scenario.
+	Label string `json:"label,omitempty"`
+	// Kind selects the trial pipeline; New defaults it to Attack.
+	Kind Kind `json:"kind"`
+	// Profile selects the simulated machine; New defaults it to
+	// ProfileDefault.  Steering and PFA kinds ignore it.
+	Profile Profile `json:"profile,omitempty"`
+	// Seed drives every stochastic component of every trial.
+	Seed uint64 `json:"seed"`
+	// Trials is the number of independent trials Run executes.
+	Trials int `json:"trials"`
+
+	// Cipher names the victim (any name or alias registered in
+	// internal/cipher/registry); "" means aes-128.
+	Cipher string `json:"cipher,omitempty"`
+
+	// Hammer, Defences, Noise, Attacker and Victim declare the scenario
+	// axes; their zero values inherit the profile defaults.
+	Hammer   HammerSpec   `json:"hammer"`
+	Defences DefenceSpec  `json:"defences"`
+	Noise    NoiseSpec    `json:"noise"`
+	Attacker AttackerSpec `json:"attacker"`
+	Victim   VictimSpec   `json:"victim"`
+
+	// Ciphertexts bounds the faulty ciphertexts collected for fault
+	// analysis (0 = profile default).
+	Ciphertexts int `json:"ciphertexts,omitempty"`
+	// PCP is the page-frame-cache policy: "", PCPLIFO or PCPFIFO.
+	PCP string `json:"pcp,omitempty"`
+	// BaselineModel selects the prior-work model for Kind Baseline:
+	// "random-spray" or "pagemap-targeted".
+	BaselineModel string `json:"baseline,omitempty"`
+	// Budget bounds the ciphertexts of a PFA-kind trial (0 = 25 per
+	// S-box value, the coupon-collector scaling).
+	Budget int `json:"budget,omitempty"`
+}
+
+// Option mutates a Spec under construction.
+type Option func(*Spec)
+
+// New builds a Spec from the baseline scenario — a quiet same-CPU AES-128
+// attack, one trial, seed 1, on the default machine — and applies opts.
+func New(opts ...Option) Spec {
+	s := Spec{
+		Kind:    Attack,
+		Profile: ProfileDefault,
+		Seed:    1,
+		Trials:  1,
+		Cipher:  "aes-128",
+	}
+	return s.With(opts...)
+}
+
+// With returns a copy of s with opts applied — the grid-building idiom:
+// one base spec, per-row variations.
+func (s Spec) With(opts ...Option) Spec {
+	for _, opt := range opts {
+		opt(&s)
+	}
+	return s
+}
+
+// WithLabel sets the human-readable caption.
+func WithLabel(label string) Option { return func(s *Spec) { s.Label = label } }
+
+// WithKind selects the trial pipeline.
+func WithKind(k Kind) Option { return func(s *Spec) { s.Kind = k } }
+
+// WithProfile selects the simulated machine.
+func WithProfile(p Profile) Option { return func(s *Spec) { s.Profile = p } }
+
+// WithSeed sets the root seed.
+func WithSeed(seed uint64) Option { return func(s *Spec) { s.Seed = seed } }
+
+// WithTrials sets the trial count.
+func WithTrials(n int) Option { return func(s *Spec) { s.Trials = n } }
+
+// WithCipher names the victim cipher.
+func WithCipher(name string) Option { return func(s *Spec) { s.Cipher = name } }
+
+// WithTRR deploys target-row-refresh with the given tracker size and
+// refresh threshold (0, 0 selects the 4/300 E13 setting).
+func WithTRR(tracker, threshold int) Option {
+	return func(s *Spec) {
+		s.Defences.TRR = true
+		s.Defences.TRRTracker = tracker
+		s.Defences.TRRThreshold = threshold
+	}
+}
+
+// WithECC deploys SEC-DED correction.
+func WithECC() Option { return func(s *Spec) { s.Defences.ECC = true } }
+
+// WithHammerMode sets the hammer strategy ("single-sided", "double-sided",
+// "many-sided").
+func WithHammerMode(mode string) Option { return func(s *Spec) { s.Hammer.Mode = mode } }
+
+// WithManySided switches to many-sided hammering with n decoy rows — the
+// TRRespass-style tracker bypass.
+func WithManySided(decoys int) Option {
+	return func(s *Spec) {
+		s.Hammer.Mode = "many-sided"
+		s.Hammer.Decoys = decoys
+	}
+}
+
+// WithHammerPairs overrides the activation pairs per hammer run.
+func WithHammerPairs(n int) Option { return func(s *Spec) { s.Hammer.Pairs = n } }
+
+// WithNoise runs procs background processes performing ops allocation
+// events on the victim CPU between plant and steer.
+func WithNoise(procs, ops int) Option {
+	return func(s *Spec) {
+		s.Noise.Procs = procs
+		s.Noise.Ops = ops
+	}
+}
+
+// WithSleepingAttacker makes the attacker go idle after planting.
+func WithSleepingAttacker() Option { return func(s *Spec) { s.Attacker.Sleeps = true } }
+
+// WithCrossCPU pins the victim to a different CPU.
+func WithCrossCPU() Option { return func(s *Spec) { s.Attacker.CrossCPU = true } }
+
+// WithNoIdleDrain disables the pcp drain on CPU idle (E11 ablation).
+func WithNoIdleDrain() Option { return func(s *Spec) { s.Attacker.NoIdleDrain = true } }
+
+// WithVictimPages sets the victim's mmap request size in pages.
+func WithVictimPages(n int) Option { return func(s *Spec) { s.Victim.RequestPages = n } }
+
+// WithCiphertexts bounds the faulty ciphertexts collected for analysis.
+func WithCiphertexts(n int) Option { return func(s *Spec) { s.Ciphertexts = n } }
+
+// WithPCPFIFO ablates the page frame cache to FIFO service order.
+func WithPCPFIFO() Option { return func(s *Spec) { s.PCP = PCPFIFO } }
+
+// WithBaseline selects a Baseline-kind prior-work model ("random-spray" or
+// "pagemap-targeted") and sets the kind accordingly.
+func WithBaseline(model string) Option {
+	return func(s *Spec) {
+		s.Kind = Baseline
+		s.BaselineModel = model
+	}
+}
+
+// WithBudget bounds a PFA-kind trial's ciphertext budget.
+func WithBudget(n int) Option { return func(s *Spec) { s.Budget = n } }
+
+// hammerModes lists the accepted HammerSpec.Mode strings.
+var hammerModes = map[string]bool{
+	"": true, "single-sided": true, "double-sided": true, "many-sided": true,
+}
+
+// baselineModels lists the accepted BaselineModel strings.
+var baselineModels = map[string]bool{
+	"random-spray": true, "pagemap-targeted": true,
+}
+
+// Validate checks every field and returns all violations joined into one
+// error (errors.Join), so a config file with three mistakes reports three
+// mistakes.
+func (s Spec) Validate() error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	switch s.Kind {
+	case Attack, Steering, Baseline, PFA:
+	default:
+		fail("kind: unknown %q (want attack, steering, baseline or pfa)", s.Kind)
+	}
+	switch s.Profile {
+	case "", ProfileDefault, ProfileFast:
+	default:
+		fail("profile: unknown %q (want default or fast)", s.Profile)
+	}
+	if s.Trials <= 0 {
+		fail("trials: %d, want >= 1", s.Trials)
+	}
+	if s.Kind != Steering { // every other kind (known or not) names a victim
+		if _, ok := registry.Get(s.cipherName()); !ok {
+			fail("cipher: unknown %q (registered: %s)", s.cipherName(), strings.Join(registry.Names(), ", "))
+		}
+	}
+	if !hammerModes[s.Hammer.Mode] {
+		fail("hammer.mode: unknown %q (want single-sided, double-sided or many-sided)", s.Hammer.Mode)
+	}
+	if s.Hammer.Decoys < 0 {
+		fail("hammer.decoys: %d, want >= 0", s.Hammer.Decoys)
+	}
+	if s.Hammer.Decoys > 0 && s.Hammer.Mode != "many-sided" {
+		fail("hammer.decoys: %d decoy rows need many-sided mode (got %q)", s.Hammer.Decoys, s.Hammer.Mode)
+	}
+	if s.Hammer.Pairs < 0 {
+		fail("hammer.pairs: %d, want >= 0", s.Hammer.Pairs)
+	}
+	if s.Defences.TRRTracker < 0 || s.Defences.TRRThreshold < 0 {
+		fail("defences: negative TRR tracker/threshold (%d, %d)", s.Defences.TRRTracker, s.Defences.TRRThreshold)
+	}
+	if (s.Defences.TRRTracker > 0 || s.Defences.TRRThreshold > 0) && !s.Defences.TRR {
+		fail("defences: TRR tracker/threshold set but trr is false")
+	}
+	if s.Noise.Procs < 0 || s.Noise.Ops < 0 {
+		fail("noise: negative procs/ops (%d, %d)", s.Noise.Procs, s.Noise.Ops)
+	}
+	if s.Victim.RequestPages < 0 {
+		fail("victim.request_pages: %d, want >= 0", s.Victim.RequestPages)
+	}
+	if s.Ciphertexts < 0 {
+		fail("ciphertexts: %d, want >= 0", s.Ciphertexts)
+	}
+	if s.Budget < 0 {
+		fail("budget: %d, want >= 0", s.Budget)
+	}
+	switch s.PCP {
+	case "", PCPLIFO, PCPFIFO:
+	default:
+		fail("pcp: unknown policy %q (want lifo or fifo)", s.PCP)
+	}
+	if s.Kind == Baseline {
+		if !baselineModels[s.BaselineModel] {
+			fail("baseline: unknown model %q (want random-spray or pagemap-targeted)", s.BaselineModel)
+		}
+	} else if s.BaselineModel != "" {
+		fail("baseline: model %q set on kind %q (only kind baseline uses it)", s.BaselineModel, s.Kind)
+	}
+	return errors.Join(errs...)
+}
+
+// cipherName resolves the cipher default.
+func (s Spec) cipherName() string {
+	if s.Cipher == "" {
+		return "aes-128"
+	}
+	return s.Cipher
+}
+
+// CipherName returns the victim cipher's canonical registry name, resolving
+// the aes-128 default and any alias; an unknown name comes back verbatim
+// (Validate reports it).
+func (s Spec) CipherName() string {
+	if c, ok := registry.Get(s.cipherName()); ok {
+		return c.Name()
+	}
+	return s.cipherName()
+}
+
+// Name returns the canonical scenario name: a compact, deterministic
+// encoding of every semantic field (Label excluded).  Two specs are the
+// same scenario iff their Names are equal, which makes Name usable as a
+// dedup and golden-table key.
+func (s Spec) Name() string {
+	var b strings.Builder
+	b.WriteString(string(s.Kind))
+	if p := s.Profile; p != "" && p != ProfileDefault {
+		fmt.Fprintf(&b, ":%s", p)
+	}
+	if s.Kind == Attack || s.Kind == PFA || s.Kind == Baseline {
+		fmt.Fprintf(&b, ":%s", s.CipherName())
+	}
+	if s.Kind == Baseline {
+		fmt.Fprintf(&b, ":%s", s.BaselineModel)
+	}
+	fmt.Fprintf(&b, ":seed%d:x%d", s.Seed, s.Trials)
+	if m := s.Hammer.Mode; m != "" && m != "double-sided" {
+		fmt.Fprintf(&b, "+%s", m)
+	}
+	if s.Hammer.Decoys > 0 {
+		fmt.Fprintf(&b, "(%d)", s.Hammer.Decoys)
+	}
+	if s.Hammer.Pairs > 0 {
+		fmt.Fprintf(&b, "+pairs=%d", s.Hammer.Pairs)
+	}
+	if s.Defences.TRR {
+		fmt.Fprintf(&b, "+trr(%d,%d)", s.trrTracker(), s.trrThreshold())
+	}
+	if s.Defences.ECC {
+		b.WriteString("+ecc")
+	}
+	if s.Noise.Procs > 0 {
+		fmt.Fprintf(&b, "+noise(%d,%d)", s.Noise.Procs, s.Noise.Ops)
+	}
+	if s.Attacker.Sleeps {
+		b.WriteString("+sleep")
+	}
+	if s.Attacker.CrossCPU {
+		b.WriteString("+cross-cpu")
+	}
+	if s.Attacker.NoIdleDrain {
+		b.WriteString("+no-idle-drain")
+	}
+	if s.Victim.RequestPages > 0 {
+		fmt.Fprintf(&b, "+pages=%d", s.Victim.RequestPages)
+	}
+	if s.Ciphertexts > 0 {
+		fmt.Fprintf(&b, "+cts=%d", s.Ciphertexts)
+	}
+	if s.PCP == PCPFIFO {
+		b.WriteString("+fifo")
+	}
+	if s.Budget > 0 {
+		fmt.Fprintf(&b, "+budget=%d", s.Budget)
+	}
+	return b.String()
+}
+
+// Title returns the Label when set, the canonical Name otherwise — the
+// string table rows and progress lines display.
+func (s Spec) Title() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return s.Name()
+}
+
+// trrTracker resolves the TRR tracker-size default (the E13 setting).
+func (s Spec) trrTracker() int {
+	if s.Defences.TRRTracker > 0 {
+		return s.Defences.TRRTracker
+	}
+	return 4
+}
+
+// trrThreshold resolves the TRR threshold default (the E13 setting).
+func (s Spec) trrThreshold() int {
+	if s.Defences.TRRThreshold > 0 {
+		return s.Defences.TRRThreshold
+	}
+	return 300
+}
+
+// Hash returns a 64-bit FNV-1a digest of the canonical Name — stable
+// across processes, usable for dedup and cache keys.
+func (s Spec) Hash() uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range []byte(s.Name()) {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// EncodeJSON renders the spec as indented JSON.  Only the knobs the
+// scenario turns appear (zero-valued fields are omitted), so the encoding
+// round-trips losslessly: DecodeSpec(EncodeJSON(s)) == s.
+func (s Spec) EncodeJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeSpec parses one spec from JSON.  Unknown fields are rejected so a
+// typoed knob in a scenario file fails loudly instead of silently running
+// the wrong scenario.
+func DecodeSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: decode spec: %w", err)
+	}
+	return s, nil
+}
+
+// LoadSpec reads one spec from a JSON file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	return DecodeSpec(data)
+}

@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// grid of representative specs used by the round-trip and hash tests.
+func sampleSpecs() []Spec {
+	return []Spec{
+		New(),
+		New(WithLabel("noisy row"), WithNoise(2, 150), WithTrials(10), WithSeed(42)),
+		New(WithProfile(ProfileFast), WithCipher("present-80"), WithCrossCPU()),
+		New(WithTRR(4, 300), WithManySided(8), WithHammerPairs(6400)),
+		New(WithECC(), WithSleepingAttacker(), WithCiphertexts(4000)),
+		New(WithKind(Steering), WithPCPFIFO(), WithVictimPages(16), WithNoIdleDrain(), WithTrials(25)),
+		New(WithProfile(ProfileFast), WithBaseline("pagemap-targeted"), WithTrials(12)),
+		New(WithKind(PFA), WithCipher("lilliput-80"), WithBudget(500), WithTrials(16)),
+	}
+}
+
+// Specs must survive JSON encode/decode byte- and value-losslessly:
+// decode(encode(s)) == s and re-encoding is byte-identical (idempotence).
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, s := range sampleSpecs() {
+		data, err := s.EncodeJSON()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", s.Name(), err)
+		}
+		back, err := DecodeSpec(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", s.Name(), err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Errorf("%s: round trip changed the spec:\n in: %+v\nout: %+v", s.Name(), s, back)
+		}
+		again, err := back.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(again) {
+			t.Errorf("%s: re-encoding is not byte-identical:\n%s\nvs\n%s", s.Name(), data, again)
+		}
+	}
+}
+
+// A typoed field in a scenario file must fail the decode, not silently run
+// a different scenario.
+func TestDecodeSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := DecodeSpec([]byte(`{"kind":"attack","seed":1,"trials":1,"cihper":"aes"}`)); err == nil {
+		t.Fatal("unknown field decoded without error")
+	}
+}
+
+// The Validate rejection table: every entry must fail with a message
+// naming the offending field, and multiple violations must all surface in
+// one joined error.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string // substring of the error
+	}{
+		{"unknown kind", New(WithKind("exploit")), "kind"},
+		{"unknown profile", New(WithProfile("huge")), "profile"},
+		{"zero trials", New(WithTrials(0)), "trials"},
+		{"negative trials", New(WithTrials(-3)), "trials"},
+		{"unknown cipher", New(WithCipher("des-56")), "cipher"},
+		{"unknown hammer mode", New(WithHammerMode("quad-sided")), "hammer.mode"},
+		{"decoys without many-sided", New().With(func(s *Spec) { s.Hammer.Decoys = 8 }), "many-sided"},
+		{"negative decoys", New(WithManySided(-1)), "decoys"},
+		{"negative pairs", New(WithHammerPairs(0)).With(func(s *Spec) { s.Hammer.Pairs = -5 }), "pairs"},
+		{"trr geometry without trr", New().With(func(s *Spec) { s.Defences.TRRTracker = 4 }), "trr is false"},
+		{"negative noise", New().With(func(s *Spec) { s.Noise.Ops = -1 }), "noise"},
+		{"negative victim pages", New(WithVictimPages(-4)), "victim.request_pages"},
+		{"negative ciphertext budget", New(WithCiphertexts(-1)), "ciphertexts"},
+		{"negative pfa budget", New(WithKind(PFA), WithBudget(-10)), "budget"},
+		{"unknown pcp", New().With(func(s *Spec) { s.PCP = "random" }), "pcp"},
+		{"baseline without model", New(WithKind(Baseline)), "baseline"},
+		{"unknown baseline model", New(WithBaseline("rowpress")), "baseline"},
+		{"baseline model on attack kind", New().With(func(s *Spec) { s.BaselineModel = "random-spray" }), "baseline"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if err == nil {
+			t.Errorf("%s: validated cleanly", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// All violations must surface at once (errors.Join), so a broken scenario
+// file reports every mistake in one pass.
+func TestValidateJoinsAllErrors(t *testing.T) {
+	s := New(WithKind("exploit"), WithTrials(-1), WithCipher("des-56"))
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	for _, want := range []string{"kind", "trials", "cipher"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q misses the %q violation", err, want)
+		}
+	}
+}
+
+// Valid specs — including every preset and every sample — must validate.
+func TestValidAccepted(t *testing.T) {
+	for _, s := range sampleSpecs() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+	for _, p := range Presets() {
+		if err := p.Spec.Validate(); err != nil {
+			t.Errorf("preset %s: %v", p.Name, err)
+		}
+		if p.Name == "" || p.Description == "" {
+			t.Errorf("preset %+v missing name/description", p)
+		}
+	}
+}
+
+// Preset names must be unique and resolvable.
+func TestPresetLookup(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Presets() {
+		if seen[p.Name] {
+			t.Fatalf("duplicate preset %q", p.Name)
+		}
+		seen[p.Name] = true
+		got, ok := LookupPreset(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Fatalf("LookupPreset(%q) = %+v, %v", p.Name, got, ok)
+		}
+	}
+	if _, ok := LookupPreset("no-such-preset"); ok {
+		t.Fatal("LookupPreset invented a preset")
+	}
+}
+
+// Name must be canonical: label-independent, alias-normalising, and
+// distinct across semantically different specs; Hash must follow Name.
+func TestNameAndHash(t *testing.T) {
+	a := New(WithLabel("row one"), WithNoise(2, 150))
+	b := New(WithLabel("row two"), WithNoise(2, 150))
+	if a.Name() != b.Name() || a.Hash() != b.Hash() {
+		t.Fatal("Label leaked into the canonical name/hash")
+	}
+	aliased := New(WithCipher("aes"))
+	canonical := New(WithCipher("aes-128"))
+	if aliased.Name() != canonical.Name() {
+		t.Fatalf("alias not normalised: %q vs %q", aliased.Name(), canonical.Name())
+	}
+	seen := map[uint64]string{}
+	for _, s := range sampleSpecs() {
+		h := s.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("hash collision between %q and %q", prev, s.Name())
+		}
+		seen[h] = s.Name()
+	}
+	if New().Title() != New().Name() {
+		t.Fatal("Title without label should fall back to Name")
+	}
+	if s := New(WithLabel("x")); s.Title() != "x" {
+		t.Fatal("Title should prefer the label")
+	}
+}

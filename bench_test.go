@@ -14,6 +14,7 @@ import (
 	"explframe/internal/fault/dfa"
 	"explframe/internal/fault/pfa"
 	"explframe/internal/kernel"
+	"explframe/internal/machine"
 	"explframe/internal/mm"
 	"explframe/internal/rowhammer"
 	"explframe/internal/stats"
@@ -505,5 +506,25 @@ func BenchmarkProcessLoad(b *testing.B) {
 		if _, err := p.Load(base + vm.VirtAddr(i%(64*vm.PageSize))); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkHammerLoopPerMachine times the translation-cached hammer loop on
+// every registered machine profile — the in-tree counterpart of the
+// BENCH_machines.json snapshot benchtab emits (interface-dispatched mapper,
+// TRR sampling and geometry differences all land in this number).
+func BenchmarkHammerLoopPerMachine(b *testing.B) {
+	for _, name := range machine.Names() {
+		b.Run(name, func(b *testing.B) {
+			p, vas, err := machine.NewHammerBench(machine.MustGet(name), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if err := p.HammerLoop(vas, b.N); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(vas)), "activations/op")
+		})
 	}
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"explframe/internal/machine"
+	"explframe/internal/scenario"
+)
+
+// hammerTimingActivations sizes the HammerLoop timing sample: large enough
+// to amortise setup, small enough that timing five profiles stays seconds.
+const hammerTimingActivations = 400_000
+
+// runBenchMachines re-times every registered machine profile — the raw
+// HammerLoop activation cost through the full kernel/DRAM stack, and one
+// seed-1 end-to-end attack trial — and writes the machine.BenchFile
+// snapshot.  Timings are host-dependent by nature; the snapshot anchors
+// the bench trajectory and its *shape* is what CI checks.
+func runBenchMachines(path string) int {
+	f := machine.BenchFile{
+		Schema: machine.BenchSchema,
+		Note:   "regenerate with: go run ./cmd/benchtab -bench-machines BENCH_machines.json",
+		Host:   fmt.Sprintf("%s/%s, %d cpus", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+	}
+	for _, name := range machine.Names() {
+		ms := machine.MustGet(name)
+		entry := machine.BenchEntry{Machine: name, Mapper: ms.MapperName(), MiB: ms.Geometry.TotalBytes() >> 20}
+
+		nsPerAct, err := timeHammerLoop(ms)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: hammer timing: %v\n", name, err)
+			return 1
+		}
+		entry.HammerNsPerActivation = nsPerAct
+
+		spec := scenario.New(scenario.WithProfile(scenario.Profile(name)))
+		start := time.Now()
+		res, err := scenario.Run(context.Background(), spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: attack trial: %v\n", name, err)
+			return 1
+		}
+		entry.AttackTrialMs = float64(time.Since(start).Microseconds()) / 1000
+		entry.KeyRecovered = res.AttackStats().Key.Successes > 0
+
+		fmt.Fprintf(os.Stderr, "%-14s %6.1f ns/act, attack trial %8.1f ms (key recovered: %v)\n",
+			name, entry.HammerNsPerActivation, entry.AttackTrialMs, entry.KeyRecovered)
+		f.Entries = append(f.Entries, entry)
+	}
+	data, err := f.EncodeJSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d profiles)\n", path, len(f.Entries))
+	return 0
+}
+
+// timeHammerLoop measures one activation's cost on the machine: two
+// attacker pages hammered in the translation-cached loop, the same
+// primitive every templating and re-hammer phase spends its time in.
+// The workload comes from machine.NewHammerBench, shared with
+// BenchmarkHammerLoopPerMachine so snapshot and benchmark cannot drift.
+func timeHammerLoop(ms machine.Spec) (float64, error) {
+	proc, vas, err := machine.NewHammerBench(ms, 1)
+	if err != nil {
+		return 0, err
+	}
+	rounds := hammerTimingActivations / len(vas)
+	start := time.Now()
+	if err := proc.HammerLoop(vas, rounds); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(rounds*len(vas)), nil
+}
+
+// runCheckBenchMachines is the CI smoke: the checked-in snapshot must
+// strictly parse and name only registered machines.
+func runCheckBenchMachines(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	f, err := machine.ParseBenchFile(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "%s: schema %d, %d profiles, ok\n", path, f.Schema, len(f.Entries))
+	return 0
+}

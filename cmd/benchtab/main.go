@@ -1,5 +1,5 @@
 // benchtab regenerates every experiment table in the evaluation index
-// (E1–E15).
+// (E1–E16) and maintains the machine-profile bench baseline.
 //
 // Usage:
 //
@@ -8,6 +8,9 @@
 //	benchtab -seed 7         # change the global seed
 //	benchtab -format md      # render text, md, csv or json
 //	benchtab -out tables.md  # write to a file instead of stdout
+//
+//	benchtab -bench-machines BENCH_machines.json        # re-time every machine profile
+//	benchtab -check-bench-machines BENCH_machines.json  # parse/validate the snapshot (CI smoke)
 //
 // With more than one experiment selected, json emits a single JSON array
 // (one element per table) so the output stays parseable as one document;
@@ -35,7 +38,18 @@ func main() {
 	out := flag.String("out", "", "write rendered tables to this file instead of stdout")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"trial workers per experiment; tables are identical at any value (deterministic per-trial streams)")
+	benchMachines := flag.String("bench-machines", "",
+		"re-time HammerLoop and one attack trial on every registered machine profile, write the JSON snapshot to this file and exit")
+	checkBenchMachines := flag.String("check-bench-machines", "",
+		"parse and validate a bench-machines snapshot (shape only, not timings) and exit")
 	flag.Parse()
+
+	if *benchMachines != "" {
+		os.Exit(runBenchMachines(*benchMachines))
+	}
+	if *checkBenchMachines != "" {
+		os.Exit(runCheckBenchMachines(*checkBenchMachines))
+	}
 
 	f, err := report.ParseFormat(*format)
 	if err != nil {

@@ -19,6 +19,7 @@ type cliFlags struct {
 	fs *flag.FlagSet
 
 	scenarioRef string
+	machineRef  string
 	seed        uint64
 	trials      int
 	parallel    int
@@ -41,6 +42,8 @@ type cliFlags struct {
 func newFlags(name string) *cliFlags {
 	f := &cliFlags{fs: flag.NewFlagSet(name, flag.ContinueOnError)}
 	f.fs.StringVar(&f.scenarioRef, "scenario", "", "scenario source: a preset name (see 'explframe list') or a JSON spec file")
+	f.fs.StringVar(&f.machineRef, "machine", "",
+		"machine profile the scenario runs on (see 'explframe list -machines'); overrides the spec's profile or inline machine")
 	f.fs.Uint64Var(&f.seed, "seed", 1, "attack seed (weak cells, keys, noise)")
 	f.fs.IntVar(&f.trials, "trials", 1, "independent trials; with the legacy interface, >1 switches to a sweep")
 	f.fs.IntVar(&f.parallel, "parallel", runtime.GOMAXPROCS(0),
@@ -102,6 +105,8 @@ func (f *cliFlags) overrides() ([]scenario.Option, error) {
 	var err error
 	f.fs.Visit(func(fl *flag.Flag) {
 		switch fl.Name {
+		case "machine":
+			opts = append(opts, scenario.WithProfile(scenario.Profile(f.machineRef)))
 		case "seed":
 			opts = append(opts, scenario.WithSeed(f.seed))
 		case "trials":

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"explframe/internal/cipher/registry"
+	"explframe/internal/machine"
 	"explframe/internal/scenario"
 )
 
@@ -24,37 +25,85 @@ func parseBare(fs *flag.FlagSet, args []string) (code int, ok bool) {
 	}
 }
 
-// cmdList prints the built-in scenario presets and the registered ciphers —
-// everything -scenario and -cipher accept by name.
+// cmdList prints the catalogues behind every name the CLI accepts: scenario
+// presets (-scenario), machine profiles (-machine / spec "profile") and
+// registered ciphers (-cipher), under section headers.  -machines restricts
+// the output to the machine section for scripting.
 func cmdList(args []string) int {
 	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	machinesOnly := fs.Bool("machines", false, "list only the registered machine profiles")
 	if code, ok := parseBare(fs, args); !ok {
 		return code
 	}
-	fmt.Println("Scenario presets (run with: explframe run -scenario <name>):")
-	for _, p := range scenario.Presets() {
-		fmt.Printf("  %-12s %s\n", p.Name, p.Description)
+	if !*machinesOnly {
+		fmt.Println("Scenario presets (run with: explframe run -scenario <name>):")
+		for _, p := range scenario.Presets() {
+			fmt.Printf("  %-14s %s\n", p.Name, p.Description)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Machine profiles (run with: explframe run -machine <name>):")
+	for _, name := range machine.Names() {
+		ms := machine.MustGet(name)
+		fmt.Printf("  %-14s %4d MiB, %d cpus, %s mapper — %s\n",
+			name, ms.Geometry.TotalBytes()>>20, ms.CPUs, ms.MapperName(), ms.Description)
+	}
+	if *machinesOnly {
+		return 0
 	}
 	fmt.Printf("\nRegistered ciphers (-cipher): %s\n", strings.Join(registry.Names(), ", "))
-	fmt.Println("\nDescribe any preset or spec file with: explframe describe <name|file.json>")
+	fmt.Println("\nDescribe any of them with: explframe describe <name|file.json> or explframe describe machine <name>")
 	return 0
 }
 
-// cmdDescribe resolves a preset name or spec/campaign file and prints each
-// member scenario's canonical name, hash, validation verdict and JSON —
-// the ground truth of what `run`/`sweep` would execute.
+// cmdDescribe resolves a name to its canonical JSON: `describe machine X`
+// prints the machine profile X; `describe X` tries scenario presets and
+// spec/campaign files first and falls back to machine profiles, so every
+// name `list` prints is describable.  Unknown names exit 2 with the usage
+// contract's "not a scenario or machine" report.
 func cmdDescribe(args []string) int {
 	fs := flag.NewFlagSet("describe", flag.ContinueOnError)
 	if code, ok := parseBare(fs, args); !ok {
 		return code
 	}
-	if fs.NArg() != 1 {
-		return fail(fmt.Errorf("usage: explframe describe <preset|spec.json>"))
+	switch fs.NArg() {
+	case 1:
+		ref := fs.Arg(0)
+		if p, ok := scenario.LookupPreset(ref); ok {
+			return describeCampaign(scenario.Campaign{Name: p.Name, Specs: []scenario.Spec{p.Spec}})
+		}
+		if _, err := os.Stat(ref); err == nil {
+			// An existing file must parse as a spec/campaign; a parse error
+			// is the diagnosis, not a reason to try other namespaces.
+			camp, err := scenario.LoadCampaign(ref)
+			if err != nil {
+				return fail(err)
+			}
+			return describeCampaign(camp)
+		}
+		if ms, ok := machine.Get(ref); ok {
+			return describeMachine(ms)
+		}
+		return fail(fmt.Errorf("%q is not a scenario (preset or spec file) or machine; see 'explframe list'", ref))
+	case 2:
+		if fs.Arg(0) != "machine" {
+			return fail(fmt.Errorf("usage: explframe describe <preset|spec.json> | explframe describe machine <name>"))
+		}
+		ms, ok := machine.Get(fs.Arg(1))
+		if !ok {
+			return fail(fmt.Errorf("machine %q is not registered (known: %s)",
+				fs.Arg(1), strings.Join(machine.Names(), ", ")))
+		}
+		return describeMachine(ms)
+	default:
+		return fail(fmt.Errorf("usage: explframe describe <preset|spec.json> | explframe describe machine <name>"))
 	}
-	camp, err := loadScenario(fs.Arg(0))
-	if err != nil {
-		return fail(err)
-	}
+}
+
+// describeCampaign prints each member scenario's canonical name, hash,
+// validation verdict and JSON — the ground truth of what `run`/`sweep`
+// would execute.
+func describeCampaign(camp scenario.Campaign) int {
 	if len(camp.Specs) > 1 {
 		fmt.Printf("campaign %q: %d scenarios\n\n", camp.Name, len(camp.Specs))
 	}
@@ -78,5 +127,33 @@ func cmdDescribe(args []string) int {
 		}
 		os.Stdout.Write(data)
 	}
+	return code
+}
+
+// describeMachine prints one machine profile's identity and canonical JSON
+// (pasteable into a scenario file's "machine" field).  Registered specs
+// are valid by construction (Register rejects anything else), but the
+// verdict mirrors describeCampaign's exit-2 contract for symmetry and for
+// any future non-registry source.
+func describeMachine(ms machine.Spec) int {
+	fmt.Printf("machine: %s\n", ms.CanonicalName())
+	fmt.Printf("hash:    %016x\n", ms.Hash())
+	fmt.Printf("mapper:  %s\n", ms.MapperName())
+	g := ms.Geometry
+	fmt.Printf("dram:    %d MiB (%dx%dx%d, %d banks x %d rows x %d B)\n",
+		g.TotalBytes()>>20, g.Channels, g.DIMMs, g.Ranks, g.Banks, g.Rows, g.RowBytes)
+	code := 0
+	if err := ms.Validate(); err != nil {
+		fmt.Printf("valid:   NO\n%v\n", err)
+		code = 2
+	} else {
+		fmt.Println("valid:   yes")
+	}
+	data, err := ms.EncodeJSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	os.Stdout.Write(data)
 	return code
 }

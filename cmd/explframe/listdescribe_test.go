@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"explframe/internal/machine"
+	"explframe/internal/scenario"
+)
+
+// The unified describe contract: presets, spec files and machine profiles
+// all resolve; names in neither namespace exit 2; the explicit `describe
+// machine <name>` form rejects unknown machines the same way.
+func TestDescribeResolution(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"preset", []string{"baseline"}, 0},
+		{"machine fallback", []string{"ddr4"}, 0},
+		{"machine explicit", []string{"machine", "server-1g"}, 0},
+		{"unknown name", []string{"not-a-thing"}, 2},
+		{"unknown machine", []string{"machine", "not-a-thing"}, 2},
+		{"bad arity", []string{"a", "b", "c"}, 2},
+		{"wrong keyword", []string{"profile", "ddr4"}, 2},
+		{"no args", []string{}, 2},
+	}
+	for _, tc := range cases {
+		if got := cmdDescribe(tc.args); got != tc.want {
+			t.Errorf("describe %v: exit %d, want %d", tc.args, got, tc.want)
+		}
+	}
+}
+
+// A spec file that exists but fails validation must exit 2 and a parse
+// failure must not fall through to the machine namespace.
+func TestDescribeSpecFiles(t *testing.T) {
+	dir := t.TempDir()
+
+	good := filepath.Join(dir, "good.json")
+	spec := scenario.New(scenario.WithProfile("ddr4"), scenario.WithTrials(2))
+	data, err := spec.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := cmdDescribe([]string{good}); got != 0 {
+		t.Errorf("valid spec file: exit %d", got)
+	}
+
+	invalid := filepath.Join(dir, "invalid.json")
+	bad := scenario.New(scenario.WithTrials(-1))
+	data, err = bad.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(invalid, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := cmdDescribe([]string{invalid}); got != 2 {
+		t.Errorf("invalid spec file: exit %d", got)
+	}
+
+	garbled := filepath.Join(dir, "garbled.json")
+	if err := os.WriteFile(garbled, []byte(`{"kind":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := cmdDescribe([]string{garbled}); got != 2 {
+		t.Errorf("garbled spec file: exit %d", got)
+	}
+}
+
+// list must succeed in both forms and print every registered machine.
+func TestListRuns(t *testing.T) {
+	if got := cmdList(nil); got != 0 {
+		t.Errorf("list: exit %d", got)
+	}
+	if got := cmdList([]string{"-machines"}); got != 0 {
+		t.Errorf("list -machines: exit %d", got)
+	}
+	if got := cmdList([]string{"-no-such-flag"}); got != 2 {
+		t.Errorf("list with bad flag: exit %d", got)
+	}
+}
+
+// The -machine flag override must reach the lowered spec, replacing an
+// inline machine as documented.
+func TestMachineFlagOverride(t *testing.T) {
+	f := newFlags("test")
+	if code, ok := f.parse([]string{"-machine", "trr-hardened", "-trials", "3"}); !ok {
+		t.Fatalf("parse failed with code %d", code)
+	}
+	camp, err := f.campaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.Specs) != 1 || camp.Specs[0].MachineName() != "trr-hardened" {
+		t.Fatalf("campaign = %+v", camp)
+	}
+	ms, err := camp.Specs[0].MachineSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Hash() != machine.MustGet("trr-hardened").Hash() {
+		t.Fatal("resolved machine is not the registered profile")
+	}
+}

@@ -4,8 +4,9 @@
 //
 //	explframe run [flags]        run one scenario and print its report
 //	explframe sweep [flags]      run a scenario or campaign sweep, render a table
-//	explframe list               list built-in scenario presets and ciphers
-//	explframe describe <what>    print a preset's or spec file's canonical JSON
+//	explframe list [-machines]   list scenario presets, machine profiles, ciphers
+//	explframe describe <what>    print a preset's, spec file's or machine's JSON
+//	explframe describe machine <name>  print one machine profile's JSON
 //	explframe [flags]            legacy alias for run (with -trials > 1: sweep)
 //
 // Scenarios come from three equivalent sources: legacy flags (-cipher,
@@ -13,7 +14,9 @@
 // spec files (-scenario spec.json).  All three construct the same
 // scenario.Spec and share one execution path, so
 // `explframe run -scenario spec.json` reproduces the byte-identical report
-// of the equivalent flag invocation.
+// of the equivalent flag invocation.  The machine the scenario runs on is
+// an open axis: -machine selects any registered profile (see
+// `explframe list -machines`), and spec files may embed an inline machine.
 //
 // Exit codes: 0 success, 1 attack failed (key not recovered) or simulator
 // error, 2 usage/validation error.
@@ -54,13 +57,18 @@ Subcommands:
             attack fails to recover the key)
   sweep     run a scenario or campaign over many trials, render the success
             table in any report format
-  list      list built-in scenario presets and registered ciphers
-  describe  print the canonical JSON, name and hash of a preset or spec file
+  list      list scenario presets, machine profiles and registered ciphers
+            (-machines restricts to the machine catalogue)
+  describe  print the canonical JSON, name and hash of a preset, spec file
+            or machine profile ('describe machine <name>' is explicit)
 
 Scenario sources (run and sweep):
   -scenario NAME|FILE   a preset name from 'explframe list' or a JSON spec
                         file; flags set on the command line override the
                         loaded spec field by field
+  -machine NAME         run on a registered machine profile (see
+                        'explframe list -machines'), overriding the spec's
+                        profile or inline machine
   (flags only)          the classic flag interface builds the same spec
 
 Run 'explframe <subcommand> -h' for the flag list.  Invoking explframe with

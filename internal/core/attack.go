@@ -63,6 +63,11 @@ type Report struct {
 
 	// Engine counters.
 	Hammer rowhammer.Stats
+	// TemplateHammer is the engine-counter snapshot at the end of the
+	// template phase: TemplateHammer.Activations is the activation cost of
+	// finding the first usable flip — the time-to-first-fault proxy the
+	// machine-profile comparison (E16) reports.
+	TemplateHammer rowhammer.Stats
 }
 
 // Success reports whether the full pipeline succeeded.
@@ -157,6 +162,7 @@ func (a *Attack) RunContext(ctx context.Context) (*Report, error) {
 	site, all, found, err := engine.TemplateUntil(base, a.cfg.AttackerMemory, a.usableFlip)
 	rep.FlipsTemplated = len(all)
 	rep.Hammer = engine.Stats()
+	rep.TemplateHammer = rep.Hammer
 	if err != nil {
 		return rep, err
 	}

@@ -139,6 +139,8 @@ func RunBaselineTrial(cfg BaselineConfig) (*BaselineResult, error) {
 	va := mapper.ToDRAM(vpa)
 	bg := mapper.BankGroup(va)
 
+	upperRow, upperOK := mapper.AdjacentRow(va.Row, -1)
+	lowerRow, lowerOK := mapper.AdjacentRow(va.Row, +1)
 	var upper, lower vm.VirtAddr
 	for off := uint64(0); off < cfg.AttackerMemory; off += vm.PageSize {
 		pva := base + vm.VirtAddr(off)
@@ -150,10 +152,10 @@ func RunBaselineTrial(cfg BaselineConfig) (*BaselineResult, error) {
 		if mapper.BankGroup(a) != bg {
 			continue
 		}
-		switch a.Row {
-		case va.Row - 1:
+		switch {
+		case upperOK && a.Row == upperRow:
 			upper = pva
-		case va.Row + 1:
+		case lowerOK && a.Row == lowerRow:
 			lower = pva
 		}
 	}

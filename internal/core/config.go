@@ -22,8 +22,8 @@ package core
 
 import (
 	"explframe/internal/cipher/registry"
-	"explframe/internal/dram"
 	"explframe/internal/kernel"
+	"explframe/internal/machine"
 	"explframe/internal/rowhammer"
 )
 
@@ -84,27 +84,22 @@ type Config struct {
 	CollectOnMiss bool
 }
 
-// DefaultConfig returns a configuration sized for the 256 MiB simulated
-// module: attack parameters keep the same proportions as the paper's
-// testbed while staying fast enough for parameter sweeps.
-func DefaultConfig() Config {
-	mc := kernel.DefaultConfig()
-	mc.FaultModel = dram.FaultModel{
-		WeakCellDensity: 1e-5, // vulnerable module, as the attack assumes
-		BaseThreshold:   5000, // scaled-down activation threshold
-		ThresholdSpread: 1.0,
-		NeighbourWeight: 0.25,
-		RefreshInterval: 1 << 21,
-		FlipReliability: 0.98,
-	}
+// ConfigForMachine assembles the attack defaults for a machine spec: the
+// machine supplies the hardware/kernel layer plus the hammer, buffer and
+// ciphertext sizing an end-to-end run on it needs; everything else takes
+// the quiet same-CPU AES-128 baseline.  Every machine profile — built-in
+// or registered by a caller — lowers onto core through this one function,
+// so a scenario on the "ddr4" machine differs from one on "default" in
+// exactly the fields the machine names.
+func ConfigForMachine(ms machine.Spec, seed uint64) Config {
 	return Config{
-		Seed:    1,
-		Machine: mc,
+		Seed:    seed,
+		Machine: ms.KernelConfig(seed),
 		Hammer: rowhammer.Config{
 			Mode:            rowhammer.DoubleSided,
-			PairHammerCount: 11000, // > 2x max threshold: catches most cells
+			PairHammerCount: ms.Attack.HammerPairs,
 		},
-		AttackerMemory:     32 << 20,
+		AttackerMemory:     ms.Attack.AttackerMemory,
 		AttackerCPU:        0,
 		VictimCPU:          0,
 		VictimCipher:       "aes-128",
@@ -113,8 +108,16 @@ func DefaultConfig() Config {
 		VictimTableOffset:  0,
 		NoiseProcs:         0,
 		NoiseOps:           0,
-		Ciphertexts:        12000,
+		Ciphertexts:        ms.Attack.Ciphertexts,
 	}
+}
+
+// DefaultConfig returns a configuration sized for the 256 MiB simulated
+// module: attack parameters keep the same proportions as the paper's
+// testbed while staying fast enough for parameter sweeps.  It is exactly
+// the "default" machine profile lowered with seed 1.
+func DefaultConfig() Config {
+	return ConfigForMachine(machine.MustGet("default"), 1)
 }
 
 // DefaultVictimKey returns a deterministic demo key of the right length for

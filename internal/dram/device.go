@@ -17,39 +17,39 @@ type FaultModel struct {
 	// WeakCellDensity is the probability that any given bit is a weak cell.
 	// Kim et al. observe between ~1e-7 and ~1e-4 depending on the module;
 	// the default favours the vulnerable end so experiments finish quickly.
-	WeakCellDensity float64
+	WeakCellDensity float64 `json:"weak_cell_density"`
 
 	// BaseThreshold is the minimum number of adjacent-row activations within
 	// one refresh window needed to flip the weakest cell.  Real DDR3 parts
 	// show first flips around 139K activations (pre-TRR); the simulator
 	// scales this down so a "hammer" is cheap while preserving ordering.
-	BaseThreshold int
+	BaseThreshold int `json:"base_threshold"`
 
 	// ThresholdSpread is the multiplicative range of per-cell thresholds:
 	// cell thresholds are distributed in [BaseThreshold, BaseThreshold*(1+Spread)].
-	ThresholdSpread float64
+	ThresholdSpread float64 `json:"threshold_spread"`
 
 	// NeighbourWeight is the fraction of disturbance contributed to rows at
 	// distance two (rows at distance one receive weight 1.0).  Double-sided
 	// hammering works because both neighbours at distance one contribute.
-	NeighbourWeight float64
+	NeighbourWeight float64 `json:"neighbour_weight"`
 
 	// RefreshInterval is the number of row activations (per device,
 	// modelling elapsed time) after which a distributed refresh sweep
 	// completes and all disturbance accumulators reset.
-	RefreshInterval uint64
+	RefreshInterval uint64 `json:"refresh_interval"`
 
 	// FlipReliability is the probability that crossing the threshold
 	// actually flips the cell in a given window; values below 1 model cells
 	// that flip only on some hammer attempts.
-	FlipReliability float64
+	FlipReliability float64 `json:"flip_reliability"`
 
 	// TRR configures the Target Row Refresh mitigation (disabled by
 	// default, matching the paper's pre-TRR DDR3 setting).
-	TRR TRRConfig
+	TRR TRRConfig `json:"trr,omitempty"`
 
 	// ECC selects the error-correction model (none by default).
-	ECC ECCMode
+	ECC ECCMode `json:"ecc,omitempty"`
 }
 
 // DefaultFaultModel returns the calibrated fault model described above.
@@ -89,7 +89,7 @@ type Flip struct {
 // serialises access, matching a single memory controller.
 type Device struct {
 	geom   Geometry
-	mapper *Mapper
+	mapper AddressMapper
 	model  FaultModel
 	data   []byte
 
@@ -136,10 +136,25 @@ type DeviceStats struct {
 }
 
 // NewDevice builds a device with the given geometry and fault model, placing
-// weak cells deterministically from the seed.
+// weak cells deterministically from the seed.  The linear address mapper is
+// used; NewDeviceWithMapper selects a different one.
 func NewDevice(g Geometry, model FaultModel, seed uint64) (*Device, error) {
 	m, err := NewMapper(g)
 	if err != nil {
+		return nil, err
+	}
+	return NewDeviceWithMapper(m, model, seed)
+}
+
+// NewDeviceWithMapper builds a device around an explicit address mapper —
+// the machine-profile hook that makes DRAM topology a first-class axis.
+// The mapper fixes the geometry; weak-cell placement depends only on
+// (geometry, model, seed), so two devices differing in mapper alone hold
+// the same weak-cell population at the same (bank, row, byte) coordinates
+// and differ purely in which physical addresses reach them.
+func NewDeviceWithMapper(m AddressMapper, model FaultModel, seed uint64) (*Device, error) {
+	g := m.Geometry()
+	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	if model.RefreshInterval == 0 {
@@ -235,7 +250,7 @@ func (d *Device) PlantWeakCell(wc WeakCell) {
 func (d *Device) Geometry() Geometry { return d.geom }
 
 // Mapper returns the address mapper for this device.
-func (d *Device) Mapper() *Mapper { return d.mapper }
+func (d *Device) Mapper() AddressMapper { return d.mapper }
 
 // Model returns the fault model in use.
 func (d *Device) Model() FaultModel { return d.model }

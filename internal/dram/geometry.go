@@ -17,12 +17,12 @@ import "fmt"
 // a single-channel, single-DIMM, single-rank module with 8 banks — a small
 // but structurally faithful DDR3 part.
 type Geometry struct {
-	Channels int // memory channels on the controller
-	DIMMs    int // DIMMs per channel
-	Ranks    int // ranks per DIMM
-	Banks    int // banks per rank
-	Rows     int // rows per bank
-	RowBytes int // bytes per row (columns * device width)
+	Channels int `json:"channels"`  // memory channels on the controller
+	DIMMs    int `json:"dimms"`     // DIMMs per channel
+	Ranks    int `json:"ranks"`     // ranks per DIMM
+	Banks    int `json:"banks"`     // banks per rank
+	Rows     int `json:"rows"`      // rows per bank
+	RowBytes int `json:"row_bytes"` // bytes per row (columns * device width)
 }
 
 // DefaultGeometry returns a 256 MiB single-rank part: 8 banks x 4096 rows x
@@ -89,110 +89,4 @@ func log2(v int) uint {
 		n++
 	}
 	return n
-}
-
-// Mapper converts between flat physical addresses and DRAM coordinates.
-//
-// The bit layout, from least significant to most significant, is:
-//
-//	[ col | channel | dimm | rank | bank^rowlow | row ]
-//
-// with the bank bits XOR-ed with the low row bits ("bank permutation" or
-// rank/bank hashing, as used by real memory controllers and reverse
-// engineered by the DRAMA work).  The XOR spreads sequential rows across
-// banks, which is what makes same-bank/different-row aggressor pairs
-// non-trivial to find — the property the Rowhammer templating step has to
-// work around, so the model keeps it.
-type Mapper struct {
-	g        Geometry
-	colBits  uint
-	chBits   uint
-	dimmBits uint
-	rankBits uint
-	bankBits uint
-	rowBits  uint
-}
-
-// NewMapper builds a Mapper for the geometry.  The geometry must be valid.
-func NewMapper(g Geometry) (*Mapper, error) {
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	return &Mapper{
-		g:        g,
-		colBits:  log2(g.RowBytes),
-		chBits:   log2(g.Channels),
-		dimmBits: log2(g.DIMMs),
-		rankBits: log2(g.Ranks),
-		bankBits: log2(g.Banks),
-		rowBits:  log2(g.Rows),
-	}, nil
-}
-
-// Geometry returns the geometry the mapper was built for.
-func (m *Mapper) Geometry() Geometry { return m.g }
-
-func extract(pa uint64, shift, bits uint) int {
-	return int((pa >> shift) & ((1 << bits) - 1))
-}
-
-// ToDRAM maps a flat physical address to DRAM coordinates.  Addresses beyond
-// the geometry wrap (callers are expected to stay in range; the wrap keeps
-// the function total for property tests).
-func (m *Mapper) ToDRAM(pa uint64) Addr {
-	var a Addr
-	shift := uint(0)
-	a.Col = extract(pa, shift, m.colBits)
-	shift += m.colBits
-	a.Channel = extract(pa, shift, m.chBits)
-	shift += m.chBits
-	a.DIMM = extract(pa, shift, m.dimmBits)
-	shift += m.dimmBits
-	a.Rank = extract(pa, shift, m.rankBits)
-	shift += m.rankBits
-	bankRaw := extract(pa, shift, m.bankBits)
-	shift += m.bankBits
-	a.Row = extract(pa, shift, m.rowBits)
-	// Bank permutation: XOR the bank index with the low row bits.
-	a.Bank = bankRaw ^ (a.Row & (m.g.Banks - 1))
-	return a
-}
-
-// ToPhys is the inverse of ToDRAM.
-func (m *Mapper) ToPhys(a Addr) uint64 {
-	bankRaw := a.Bank ^ (a.Row & (m.g.Banks - 1))
-	pa := uint64(0)
-	shift := uint(0)
-	pa |= uint64(a.Col) << shift
-	shift += m.colBits
-	pa |= uint64(a.Channel) << shift
-	shift += m.chBits
-	pa |= uint64(a.DIMM) << shift
-	shift += m.dimmBits
-	pa |= uint64(a.Rank) << shift
-	shift += m.rankBits
-	pa |= uint64(bankRaw) << shift
-	shift += m.bankBits
-	pa |= uint64(a.Row) << shift
-	return pa
-}
-
-// BankGroup returns a dense index identifying the (channel, dimm, rank, bank)
-// tuple of the address; rows within one bank group are physically adjacent.
-func (m *Mapper) BankGroup(a Addr) int {
-	idx := a.Channel
-	idx = idx*m.g.DIMMs + a.DIMM
-	idx = idx*m.g.Ranks + a.Rank
-	idx = idx*m.g.Banks + a.Bank
-	return idx
-}
-
-// SameBankRow returns the physical address of (row, col) within the same
-// bank group as the given address.  This is the primitive the Rowhammer
-// engine uses to locate aggressor rows adjacent to a victim row.
-func (m *Mapper) SameBankRow(a Addr, row, col int) uint64 {
-	n := a
-	n.Row = row
-	n.Col = col
-	return m.ToPhys(n)
 }

@@ -36,27 +36,9 @@ func TestGeometryValidateRejectsNonPowerOfTwo(t *testing.T) {
 	}
 }
 
-func TestMapperRoundTrip(t *testing.T) {
-	for _, g := range []Geometry{
-		DefaultGeometry(),
-		{Channels: 2, DIMMs: 1, Ranks: 2, Banks: 8, Rows: 1024, RowBytes: 4096},
-		{Channels: 1, DIMMs: 1, Ranks: 1, Banks: 4, Rows: 256, RowBytes: 1024},
-	} {
-		m, err := NewMapper(g)
-		if err != nil {
-			t.Fatalf("NewMapper(%+v): %v", g, err)
-		}
-		f := func(pa uint64) bool {
-			pa %= g.TotalBytes()
-			a := m.ToDRAM(pa)
-			return m.ToPhys(a) == pa
-		}
-		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
-			t.Fatalf("round trip failed for %+v: %v", g, err)
-		}
-	}
-}
-
+// Round-trip and in-range properties for every registered mapper kind live
+// in mapper_test.go (TestMapperRoundTrip); the quick-check below keeps the
+// historical linear-mapper coordinate coverage.
 func TestMapperCoordinatesInRange(t *testing.T) {
 	g := DefaultGeometry()
 	m, err := NewMapper(g)

@@ -1,5 +1,7 @@
 package dram
 
+import "fmt"
+
 // This file models the two hardware mitigations the Rowhammer literature
 // deploys against the paper's attack, so the repository can evaluate the
 // defence side (experiment E13):
@@ -18,13 +20,13 @@ package dram
 // TRRConfig parameterises the in-DRAM Target Row Refresh sampler.
 type TRRConfig struct {
 	// Enabled turns the mitigation on.
-	Enabled bool
+	Enabled bool `json:"enabled,omitempty"`
 	// TrackerSize is the number of rows tracked per bank group (real
 	// devices: on the order of 2..32 entries).
-	TrackerSize int
+	TrackerSize int `json:"tracker_size,omitempty"`
 	// Threshold is the tracked activation count that triggers a neighbour
 	// refresh.  It must be far below the weak-cell threshold to protect.
-	Threshold int
+	Threshold int `json:"threshold,omitempty"`
 }
 
 // ECCMode selects the error-correction model.
@@ -40,6 +42,34 @@ const (
 	// words count as uncorrectable and are reported raw).
 	ECCSecDed
 )
+
+// String names the ECC mode the way machine-spec JSON spells it.
+func (m ECCMode) String() string {
+	if m == ECCSecDed {
+		return "sec-ded"
+	}
+	return "none"
+}
+
+// MarshalJSON renders the mode as its string name, keeping machine-spec
+// files readable ("sec-ded", not 1).
+func (m ECCMode) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + m.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the string names; unknown names are rejected so a
+// typoed spec fails loudly.
+func (m *ECCMode) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"none"`, `""`:
+		*m = ECCNone
+	case `"sec-ded"`:
+		*m = ECCSecDed
+	default:
+		return fmt.Errorf("dram: unknown ecc mode %s (want \"none\" or \"sec-ded\")", data)
+	}
+	return nil
+}
 
 // trrEntry is one tracker slot.
 type trrEntry struct {

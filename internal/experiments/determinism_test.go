@@ -47,22 +47,34 @@ func TestTablesWorkerCountInvariant(t *testing.T) {
 	}
 }
 
-// The heavyweight machine-backed experiment must also be worker-invariant:
-// E6 runs full attack pipelines through the scenario campaign layer.
+// The heavyweight machine-backed experiments must also be worker-invariant:
+// E6 runs full attack pipelines through the scenario campaign layer, and
+// E16 does the same across every registered machine profile.  E16's trial
+// streams key on the machine *name* (via machine.Spec hashes), so the
+// invariance also holds against registry growth: a newly registered
+// machine adds a row without re-randomizing the existing rows.
 func TestAttackTableWorkerCountInvariant(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full end-to-end sweep")
 	}
-	var ref string
-	for _, workers := range []int{1, runtime.NumCPU()} {
-		tb, err := E6EndToEnd(3, harness.WithWorkers(workers))
-		if err != nil {
-			t.Fatalf("E6 at %d workers: %v", workers, err)
-		}
-		if ref == "" {
-			ref = tb.Render()
-		} else if tb.Render() != ref {
-			t.Fatalf("E6 table diverges at %d workers", workers)
+	for _, exp := range []struct {
+		id  string
+		run func(uint64, ...harness.Option) (*Table, error)
+	}{
+		{"E6", E6EndToEnd},
+		{"E16", E16Machines},
+	} {
+		var ref string
+		for _, workers := range []int{1, runtime.NumCPU()} {
+			tb, err := exp.run(3, harness.WithWorkers(workers))
+			if err != nil {
+				t.Fatalf("%s at %d workers: %v", exp.id, workers, err)
+			}
+			if ref == "" {
+				ref = tb.Render()
+			} else if tb.Render() != ref {
+				t.Fatalf("%s table diverges at %d workers", exp.id, workers)
+			}
 		}
 	}
 }

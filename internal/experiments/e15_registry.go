@@ -92,12 +92,6 @@ func E15PFAAllCiphers(seed uint64, opts ...harness.Option) (*Table, error) {
 	return t, nil
 }
 
-// fnv1a hashes a cipher name to a stable 64-bit seed label.
-func fnv1a(s string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
-}
+// fnv1a hashes a registry name to a stable 64-bit seed label; experiment
+// drivers key per-name trial streams on it (E15 ciphers, E16 machines).
+func fnv1a(s string) uint64 { return stats.FNV64(s) }

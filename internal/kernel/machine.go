@@ -36,9 +36,12 @@ const (
 type Config struct {
 	Geometry   dram.Geometry
 	FaultModel dram.FaultModel
-	NumCPUs    int
-	PCPBatch   int
-	PCPHigh    int
+	// Mapper names the DRAM address-mapper kind (see dram.MapperNames);
+	// empty selects the linear mapper, preserving historical behaviour.
+	Mapper   string
+	NumCPUs  int
+	PCPBatch int
+	PCPHigh  int
 	// PCPFIFO is the page-frame-cache policy ablation knob (see mm.Config).
 	PCPFIFO bool
 	// MinWatermarkPages is passed through to the physical allocator.
@@ -91,7 +94,11 @@ type cpu struct {
 
 // NewMachine builds the DRAM device, physical allocator and CPUs.
 func NewMachine(cfg Config) (*Machine, error) {
-	dev, err := dram.NewDevice(cfg.Geometry, cfg.FaultModel, cfg.Seed)
+	mapper, err := dram.NewNamedMapper(cfg.Mapper, cfg.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := dram.NewDeviceWithMapper(mapper, cfg.FaultModel, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,59 @@
+package machine
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The checked-in BENCH_machines.json snapshot at the repository root must
+// strictly parse and name only registered machines — the CI smoke behind
+// `benchtab -check-bench-machines` runs the same validation.
+func TestCheckedInBenchFileParses(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_machines.json"))
+	if err != nil {
+		t.Fatalf("missing bench baseline (regenerate with `go run ./cmd/benchtab -bench-machines BENCH_machines.json`): %v", err)
+	}
+	f, err := ParseBenchFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[string]bool{}
+	for _, e := range f.Entries {
+		covered[e.Machine] = true
+	}
+	for _, name := range Names() {
+		if !covered[name] {
+			t.Errorf("registered machine %q has no bench entry; regenerate the snapshot", name)
+		}
+	}
+}
+
+// ParseBenchFile must reject malformed documents with every violation
+// reported.
+func TestParseBenchFileRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"schema":1,"note":"","host":"","entries":[],"extra":1}`,
+		"wrong schema":  `{"schema":9,"note":"","host":"","entries":[{"machine":"fast","mapper":"linear","mib":32,"hammer_ns_per_activation":1,"attack_trial_ms":1,"key_recovered":true}]}`,
+		"no entries":    `{"schema":1,"note":"","host":"","entries":[]}`,
+		"unknown name":  `{"schema":1,"note":"","host":"","entries":[{"machine":"nope","mapper":"linear","mib":32,"hammer_ns_per_activation":1,"attack_trial_ms":1,"key_recovered":true}]}`,
+		"bad timings":   `{"schema":1,"note":"","host":"","entries":[{"machine":"fast","mapper":"linear","mib":32,"hammer_ns_per_activation":0,"attack_trial_ms":-1,"key_recovered":true}]}`,
+		"not even json": `]`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseBenchFile([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	multi := `{"schema":2,"note":"","host":"","entries":[{"machine":"nope","mapper":"linear","mib":32,"hammer_ns_per_activation":0,"attack_trial_ms":1,"key_recovered":true}]}`
+	_, err := ParseBenchFile([]byte(multi))
+	if err == nil {
+		t.Fatal("multi-violation document accepted")
+	}
+	for _, want := range []string{"schema", "not registered", "non-positive"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error misses %q: %v", want, err)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+var (
+	mu       sync.RWMutex
+	machines = map[string]Spec{}
+)
+
+// Register adds a machine under its Name.  It panics on an empty name,
+// an invalid spec or a duplicate — registration conflicts are programming
+// errors, exactly as in the cipher registry.
+func Register(s Spec) {
+	if s.Name == "" {
+		panic("machine: cannot register an unnamed spec")
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("machine: registering invalid spec %q: %v", s.Name, err))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	key := strings.ToLower(s.Name)
+	if _, dup := machines[key]; dup {
+		panic(fmt.Sprintf("machine: %q registered twice", s.Name))
+	}
+	machines[key] = s
+}
+
+// Get looks a machine up by name, case-insensitively.
+func Get(name string) (Spec, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	s, ok := machines[strings.ToLower(name)]
+	return s, ok
+}
+
+// MustGet is Get for registered-by-construction names; it panics on a miss.
+func MustGet(name string) Spec {
+	s, ok := Get(name)
+	if !ok {
+		panic(fmt.Sprintf("machine: unknown machine %q", name))
+	}
+	return s
+}
+
+// Names returns the registered name of every machine (original spelling,
+// not the lowercased lookup key), sorted case-insensitively.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(machines))
+	for _, s := range machines {
+		out = append(out, s.Name)
+	}
+	sort.Slice(out, func(i, j int) bool { return strings.ToLower(out[i]) < strings.ToLower(out[j]) })
+	return out
+}

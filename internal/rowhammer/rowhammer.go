@@ -169,8 +169,11 @@ func (e *Engine) FindAggressors(target vm.VirtAddr, base vm.VirtAddr, length uin
 	mapper := e.dev.Mapper()
 	bg := mapper.BankGroup(ta)
 	idx := e.rowIndex(base, length)
-	up, upOK := idx[[2]int{bg, ta.Row - 1}]
-	down, downOK := idx[[2]int{bg, ta.Row + 1}]
+	// Row adjacency comes from the mapper, never from index arithmetic:
+	// which row is the electrical neighbour (and whether one exists at the
+	// bank edge) is a property of the machine's topology.
+	up, upOK := e.neighbourPage(idx, bg, ta.Row, -1)
+	down, downOK := e.neighbourPage(idx, bg, ta.Row, +1)
 	switch e.cfg.Mode {
 	case DoubleSided:
 		if !upOK || !downOK {
@@ -203,12 +206,14 @@ func (e *Engine) FindAggressors(target vm.VirtAddr, base vm.VirtAddr, length uin
 		// Deterministic far-row choice: the lowest-numbered same-bank row
 		// outside the victim's neighbourhood (map order would randomise the
 		// activation trace run to run).
+		near1, near1OK := mapper.AdjacentRow(ta.Row, -1)
+		near2, near2OK := mapper.AdjacentRow(ta.Row, +1)
 		farRow := -1
 		for key := range idx {
 			if key[0] != bg {
 				continue
 			}
-			if key[1] == ta.Row || key[1] == ta.Row-1 || key[1] == ta.Row+1 {
+			if key[1] == ta.Row || (near1OK && key[1] == near1) || (near2OK && key[1] == near2) {
 				continue
 			}
 			if farRow < 0 || key[1] < farRow {
@@ -221,6 +226,19 @@ func (e *Engine) FindAggressors(target vm.VirtAddr, base vm.VirtAddr, length uin
 		far := idx[[2]int{bg, farRow}]
 		return Aggressors{VictimRow: ta.Row, Bank: bg, Upper: near, Lower: far, Mode: SingleSided}, nil
 	}
+}
+
+// neighbourPage resolves the attacker-mapped page backing the row at the
+// given adjacency distance from row, via the mapper's adjacency relation.
+// ok is false when no such row exists (bank edge) or the attacker owns no
+// page in it.
+func (e *Engine) neighbourPage(idx map[[2]int]vm.VirtAddr, bg, row, delta int) (vm.VirtAddr, bool) {
+	r, ok := e.dev.Mapper().AdjacentRow(row, delta)
+	if !ok {
+		return 0, false
+	}
+	va, ok := idx[[2]int{bg, r}]
+	return va, ok
 }
 
 // selectDecoys picks cfg.Decoys tracker-thrashing rows from the index:

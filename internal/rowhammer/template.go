@@ -104,9 +104,10 @@ func (e *Engine) Template(base vm.VirtAddr, length uint64, patterns ...Pattern) 
 				return flips, nil
 			}
 			bg, row := key[0], key[1]
-			// Aggressor rows must be resident in the attacker's region.
-			up, upOK := idx[[2]int{bg, row - 1}]
-			down, downOK := idx[[2]int{bg, row + 1}]
+			// Aggressor rows must be resident in the attacker's region;
+			// adjacency is the mapper's relation, not index arithmetic.
+			up, upOK := e.neighbourPage(idx, bg, row, -1)
+			down, downOK := e.neighbourPage(idx, bg, row, +1)
 			var agg Aggressors
 			switch e.cfg.Mode {
 			case DoubleSided, ManySided:

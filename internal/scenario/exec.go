@@ -14,28 +14,6 @@ import (
 	"explframe/internal/stats"
 )
 
-// fastAttackConfig is the ProfileFast machine: the small, vulnerable 32 MiB
-// module the end-to-end experiment tables (E6/E8/E13) run on so each trial
-// stays around a second.  The numbers are pinned by the golden tables —
-// changing them changes every end-to-end experiment.
-func fastAttackConfig(seed uint64) core.Config {
-	cfg := core.DefaultConfig()
-	cfg.Seed = seed
-	cfg.Machine.Geometry = dram.Geometry{Channels: 1, DIMMs: 1, Ranks: 1, Banks: 4, Rows: 1024, RowBytes: 8192}
-	cfg.Machine.FaultModel = dram.FaultModel{
-		WeakCellDensity: 2e-4,
-		BaseThreshold:   1500,
-		ThresholdSpread: 0.5,
-		NeighbourWeight: 0.25,
-		RefreshInterval: 1 << 20,
-		FlipReliability: 0.98,
-	}
-	cfg.Hammer = rowhammer.Config{Mode: rowhammer.DoubleSided, PairHammerCount: 3200}
-	cfg.AttackerMemory = 8 << 20
-	cfg.Ciphertexts = 12000
-	return cfg
-}
-
 // hammerMode maps a HammerSpec.Mode string onto the engine's enum.
 func hammerMode(mode string) rowhammer.Mode {
 	switch mode {
@@ -48,23 +26,21 @@ func hammerMode(mode string) rowhammer.Mode {
 	}
 }
 
-// AttackConfig lowers an Attack-kind spec onto core.Config.  The profile
-// supplies the machine and every default; the spec's non-zero fields
-// override exactly the knobs they name, so a spec built from options equals
-// the hand-mutated config the drivers used to assemble.
+// AttackConfig lowers an Attack-kind spec onto core.Config.  The machine —
+// a registered profile or an inline spec — supplies the hardware and every
+// sizing default; the spec's non-zero fields override exactly the knobs
+// they name, so a spec built from options equals the hand-mutated config
+// the drivers used to assemble.
 func (s Spec) AttackConfig() (core.Config, error) {
 	c, ok := registry.Get(s.cipherName())
 	if !ok {
 		return core.Config{}, fmt.Errorf("scenario: unknown cipher %q", s.cipherName())
 	}
-	var cfg core.Config
-	switch s.Profile {
-	case ProfileFast:
-		cfg = fastAttackConfig(s.Seed)
-	default:
-		cfg = core.DefaultConfig()
-		cfg.Seed = s.Seed
+	ms, err := s.MachineSpec()
+	if err != nil {
+		return core.Config{}, err
 	}
+	cfg := core.ConfigForMachine(ms, s.Seed)
 	cfg.VictimCipher = c.Name()
 	cfg.VictimKey = core.DefaultVictimKey(c)
 	cfg.NoiseProcs = s.Noise.Procs

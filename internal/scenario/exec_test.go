@@ -13,6 +13,30 @@ import (
 	"explframe/internal/rowhammer"
 )
 
+// fastAttackConfig reproduces, by hand, the ProfileFast machine exactly as
+// the pre-registry lowering hardcoded it.  It exists only as the reference
+// for TestAttackConfigMatchesHandMutation: if the registered "fast" profile
+// ever drifts from these numbers, every end-to-end golden table drifts
+// with it, and this fixture is what catches the change at unit scope.
+func fastAttackConfig(seed uint64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Machine.Seed = seed
+	cfg.Machine.Geometry = dram.Geometry{Channels: 1, DIMMs: 1, Ranks: 1, Banks: 4, Rows: 1024, RowBytes: 8192}
+	cfg.Machine.FaultModel = dram.FaultModel{
+		WeakCellDensity: 2e-4,
+		BaseThreshold:   1500,
+		ThresholdSpread: 0.5,
+		NeighbourWeight: 0.25,
+		RefreshInterval: 1 << 20,
+		FlipReliability: 0.98,
+	}
+	cfg.Hammer = rowhammer.Config{Mode: rowhammer.DoubleSided, PairHammerCount: 3200}
+	cfg.AttackerMemory = 8 << 20
+	cfg.Ciphertexts = 12000
+	return cfg
+}
+
 // The spec lowering must equal the hand-mutated config the drivers and the
 // legacy CLI used to assemble — that equality is what keeps the golden
 // tables byte-identical across the API redesign.
@@ -43,6 +67,7 @@ func TestAttackConfigMatchesHandMutation(t *testing.T) {
 	}
 	want = core.DefaultConfig()
 	want.Seed = 5
+	want.Machine.Seed = 5
 	want.VictimCPU = 1
 	want.AttackerSleeps = true
 	want.Machine.FaultModel.ECC = dram.ECCSecDed

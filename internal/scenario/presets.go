@@ -32,6 +32,16 @@ func Presets() []Preset {
 			Spec:        New(WithLabel("lilliput"), WithCipher("lilliput-80")),
 		},
 		{
+			Name:        "ddr4-aes",
+			Description: "the baseline attack on the ddr4 machine (XOR-folded bank function)",
+			Spec:        New(WithLabel("ddr4-aes"), WithProfile("ddr4")),
+		},
+		{
+			Name:        "server-aes",
+			Description: "the baseline attack on the 1 GiB server-1g machine (slower cells)",
+			Spec:        New(WithLabel("server-aes"), WithProfile("server-1g")),
+		},
+		{
 			Name:        "noisy",
 			Description: "attack under allocator churn: 2 noise processes, 150 events",
 			Spec:        New(WithLabel("noisy"), WithNoise(2, 150)),

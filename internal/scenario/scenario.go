@@ -26,6 +26,8 @@ import (
 	"strings"
 
 	"explframe/internal/cipher/registry"
+	"explframe/internal/machine"
+	"explframe/internal/stats"
 )
 
 // Kind selects which trial pipeline a Spec drives.
@@ -48,10 +50,13 @@ const (
 	PFA Kind = "pfa"
 )
 
-// Profile selects the simulated machine the scenario runs on.
+// Profile selects the simulated machine the scenario runs on: any name in
+// the internal/machine registry ("explframe list -machines" prints them).
 type Profile string
 
-// The built-in machine profiles.
+// Handles for the two historical machine profiles.  The set is open —
+// these constants are convenience names for the registry entries the
+// golden tables pin, not an enumeration.
 const (
 	// ProfileDefault is the 256 MiB module of core.DefaultConfig — the
 	// paper-proportioned setting cmd/explframe uses.
@@ -132,9 +137,14 @@ type Spec struct {
 	Label string `json:"label,omitempty"`
 	// Kind selects the trial pipeline; New defaults it to Attack.
 	Kind Kind `json:"kind"`
-	// Profile selects the simulated machine; New defaults it to
-	// ProfileDefault.  Steering and PFA kinds ignore it.
+	// Profile names the simulated machine in the internal/machine
+	// registry; New defaults it to ProfileDefault.  Steering and PFA kinds
+	// ignore the machine axis (no attack-scale DRAM simulation runs).
 	Profile Profile `json:"profile,omitempty"`
+	// Machine is an optional inline machine spec, the file-local
+	// alternative to naming a registered profile; setting both is a
+	// validation error.
+	Machine *machine.Spec `json:"machine,omitempty"`
 	// Seed drives every stochastic component of every trial.
 	Seed uint64 `json:"seed"`
 	// Trials is the number of independent trials Run executes.
@@ -196,8 +206,23 @@ func WithLabel(label string) Option { return func(s *Spec) { s.Label = label } }
 // WithKind selects the trial pipeline.
 func WithKind(k Kind) Option { return func(s *Spec) { s.Kind = k } }
 
-// WithProfile selects the simulated machine.
-func WithProfile(p Profile) Option { return func(s *Spec) { s.Profile = p } }
+// WithProfile selects the simulated machine by registry name, clearing any
+// inline machine spec.
+func WithProfile(p Profile) Option {
+	return func(s *Spec) {
+		s.Profile = p
+		s.Machine = nil
+	}
+}
+
+// WithMachine runs the scenario on an inline machine spec (no registration
+// needed), clearing any named profile.
+func WithMachine(ms machine.Spec) Option {
+	return func(s *Spec) {
+		s.Machine = &ms
+		s.Profile = ""
+	}
+}
 
 // WithSeed sets the root seed.
 func WithSeed(seed uint64) Option { return func(s *Spec) { s.Seed = seed } }
@@ -300,10 +325,17 @@ func (s Spec) Validate() error {
 	default:
 		fail("kind: unknown %q (want attack, steering, baseline or pfa)", s.Kind)
 	}
-	switch s.Profile {
-	case "", ProfileDefault, ProfileFast:
-	default:
-		fail("profile: unknown %q (want default or fast)", s.Profile)
+	if s.Machine != nil {
+		if s.Profile != "" {
+			fail("profile: %q and an inline machine are both set (pick one)", s.Profile)
+		}
+		if err := s.Machine.Validate(); err != nil {
+			fail("machine: %w", err)
+		}
+	} else if s.Profile != "" {
+		if _, ok := machine.Get(string(s.Profile)); !ok {
+			fail("profile: unknown machine %q (registered: %s)", s.Profile, strings.Join(machine.Names(), ", "))
+		}
 	}
 	if s.Trials <= 0 {
 		fail("trials: %d, want >= 1", s.Trials)
@@ -358,6 +390,37 @@ func (s Spec) Validate() error {
 	return errors.Join(errs...)
 }
 
+// MachineSpec resolves the machine the scenario runs on: the inline spec
+// when present, otherwise the registered profile (ProfileDefault when the
+// field is empty).
+func (s Spec) MachineSpec() (machine.Spec, error) {
+	if s.Machine != nil {
+		return *s.Machine, nil
+	}
+	name := string(s.Profile)
+	if name == "" {
+		name = string(ProfileDefault)
+	}
+	ms, ok := machine.Get(name)
+	if !ok {
+		return machine.Spec{}, fmt.Errorf("scenario: unknown machine profile %q (registered: %s)",
+			name, strings.Join(machine.Names(), ", "))
+	}
+	return ms, nil
+}
+
+// MachineName returns the canonical name of the machine the scenario runs
+// on — the registered profile name, or the inline spec's derived handle.
+func (s Spec) MachineName() string {
+	if s.Machine != nil {
+		return s.Machine.CanonicalName()
+	}
+	if s.Profile == "" {
+		return string(ProfileDefault)
+	}
+	return string(s.Profile)
+}
+
 // cipherName resolves the cipher default.
 func (s Spec) cipherName() string {
 	if s.Cipher == "" {
@@ -383,7 +446,17 @@ func (s Spec) CipherName() string {
 func (s Spec) Name() string {
 	var b strings.Builder
 	b.WriteString(string(s.Kind))
-	if p := s.Profile; p != "" && p != ProfileDefault {
+	if s.Machine != nil {
+		// An inline machine is identified by content, not label: two specs
+		// embedding same-named but differently-configured machines must not
+		// collide (Dedup would silently drop one).  Anonymous machines
+		// already derive a hash handle; named ones get the hash appended.
+		if s.Machine.Name == "" {
+			fmt.Fprintf(&b, ":%s", s.Machine.CanonicalName())
+		} else {
+			fmt.Fprintf(&b, ":%s#%08x", s.Machine.Name, uint32(s.Machine.Hash()))
+		}
+	} else if p := s.Profile; p != "" && p != ProfileDefault {
 		fmt.Fprintf(&b, ":%s", p)
 	}
 	if s.Kind == Attack || s.Kind == PFA || s.Kind == Baseline {
@@ -462,14 +535,7 @@ func (s Spec) trrThreshold() int {
 
 // Hash returns a 64-bit FNV-1a digest of the canonical Name — stable
 // across processes, usable for dedup and cache keys.
-func (s Spec) Hash() uint64 {
-	h := uint64(14695981039346656037)
-	for _, c := range []byte(s.Name()) {
-		h ^= uint64(c)
-		h *= 1099511628211
-	}
-	return h
-}
+func (s Spec) Hash() uint64 { return stats.FNV64(s.Name()) }
 
 // EncodeJSON renders the spec as indented JSON.  Only the knobs the
 // scenario turns appear (zero-valued fields are omitted), so the encoding

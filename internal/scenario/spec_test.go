@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"explframe/internal/machine"
 )
 
 // grid of representative specs used by the round-trip and hash tests.
@@ -17,6 +19,9 @@ func sampleSpecs() []Spec {
 		New(WithKind(Steering), WithPCPFIFO(), WithVictimPages(16), WithNoIdleDrain(), WithTrials(25)),
 		New(WithProfile(ProfileFast), WithBaseline("pagemap-targeted"), WithTrials(12)),
 		New(WithKind(PFA), WithCipher("lilliput-80"), WithBudget(500), WithTrials(16)),
+		New(WithProfile("ddr4"), WithTrials(4)),
+		New(WithMachine(machine.MustGet("server-1g")), WithCipher("present-80")),
+		New(WithMachine(machine.New("", machine.WithTRR(4, 300))), WithTrials(2)),
 	}
 }
 
@@ -64,6 +69,8 @@ func TestValidateRejections(t *testing.T) {
 	}{
 		{"unknown kind", New(WithKind("exploit")), "kind"},
 		{"unknown profile", New(WithProfile("huge")), "profile"},
+		{"profile and inline machine", New(WithMachine(machine.MustGet("fast"))).With(func(s *Spec) { s.Profile = ProfileFast }), "pick one"},
+		{"invalid inline machine", New(WithMachine(machine.New("", machine.WithCPUs(0)))), "machine"},
 		{"zero trials", New(WithTrials(0)), "trials"},
 		{"negative trials", New(WithTrials(-3)), "trials"},
 		{"unknown cipher", New(WithCipher("des-56")), "cipher"},
@@ -90,6 +97,52 @@ func TestValidateRejections(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+// The machine axis: profile names resolve through the registry, an inline
+// spec that copies a registered profile lowers onto the identical
+// core.Config, and the machine identity enters the canonical Name.
+func TestMachineResolution(t *testing.T) {
+	if ms, err := New().MachineSpec(); err != nil || ms.Name != "default" {
+		t.Fatalf("default resolution = %+v, %v", ms, err)
+	}
+	byProfile := New(WithProfile("fast"), WithSeed(9))
+	inline := New(WithMachine(machine.MustGet("fast")), WithSeed(9))
+	a, err := byProfile.AttackConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := inline.AttackConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("inline copy of a profile lowers differently:\n%+v\nvs\n%+v", a, b)
+	}
+	if name := byProfile.Name(); !strings.Contains(name, ":fast") {
+		t.Errorf("profile missing from canonical name %q", name)
+	}
+	if name := inline.Name(); !strings.Contains(name, ":fast") {
+		t.Errorf("inline machine identity missing from canonical name %q", name)
+	}
+	anon := New(WithMachine(machine.New("", machine.WithCPUs(8))))
+	if name := anon.Name(); !strings.Contains(name, ":custom-") {
+		t.Errorf("anonymous machine handle missing from canonical name %q", name)
+	}
+	// Two inline machines sharing a label but differing in configuration
+	// are different scenarios: Name/Hash must not collide, or Dedup would
+	// silently drop one.
+	x := New(WithMachine(machine.New("my-dimm", machine.WithCPUs(2))))
+	y := New(WithMachine(machine.New("my-dimm", machine.WithCPUs(8))))
+	if x.Name() == y.Name() || x.Hash() == y.Hash() {
+		t.Errorf("same-named inline machines collide: %q vs %q", x.Name(), y.Name())
+	}
+	if _, err := New(WithProfile("missing-machine")).AttackConfig(); err == nil {
+		t.Error("AttackConfig resolved an unregistered profile")
+	}
+	if got := New(WithProfile("ddr4")).MachineName(); got != "ddr4" {
+		t.Errorf("MachineName = %q", got)
 	}
 }
 

@@ -77,6 +77,18 @@ func DeriveSeed(seed, label uint64) uint64 {
 	return NewStream(seed, label).Uint64()
 }
 
+// FNV64 returns the 64-bit FNV-1a digest of s — the repo's one string-hash
+// primitive, shared by canonical-name hashing (scenario and machine specs)
+// and name-keyed seed derivation in the experiment drivers.
+func FNV64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -9,8 +9,10 @@ import (
 
 	"explframe/internal/cipher/aes"
 	"explframe/internal/cipher/present"
+	"explframe/internal/cipher/registry"
 	"explframe/internal/core"
 	"explframe/internal/dram"
+	"explframe/internal/fault"
 	"explframe/internal/fault/dfa"
 	"explframe/internal/fault/pfa"
 	"explframe/internal/kernel"
@@ -268,25 +270,35 @@ func BenchmarkE8Baselines(b *testing.B) {
 }
 
 // BenchmarkE9DFAvsPFA measures one DFA recovery from 8 fault pairs (table
-// E9's transient-fault row).
+// E9's transient-fault row), through the registered AES analyzer.
 func BenchmarkE9DFAvsPFA(b *testing.B) {
 	rng := stats.NewRNG(3)
+	c := registry.MustGet("aes-128")
+	a := dfa.MustGet("aes-128")
 	key := make([]byte, 16)
 	rng.Bytes(key)
-	ks, _ := aes.Expand(key)
-	sb := aes.SBox()
+	inst, err := c.New(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	table := c.SBox()
 	unique := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var pairs []dfa.Pair
 		pt := make([]byte, 16)
 		for fb := 0; fb < 4; fb++ {
+			m := fault.New(fault.PreciseByte, fault.WithPosition(fb))
 			for n := 0; n < 2; n++ {
 				rng.Bytes(pt)
-				pairs = append(pairs, dfa.CollectPair(ks, &sb, pt, fb, byte(rng.Intn(255)+1)))
+				p, err := dfa.CollectPair(c, inst, table, pt, m, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pairs = append(pairs, p)
 			}
 		}
-		res, err := dfa.Recover(pairs)
+		res, err := a.Analyze(pairs, fault.New(fault.PreciseByte))
 		if err == nil && res.Unique {
 			unique++
 		}

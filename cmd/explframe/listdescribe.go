@@ -8,6 +8,8 @@ import (
 	"strings"
 
 	"explframe/internal/cipher/registry"
+	"explframe/internal/fault"
+	"explframe/internal/fault/dfa"
 	"explframe/internal/machine"
 	"explframe/internal/scenario"
 )
@@ -26,29 +28,52 @@ func parseBare(fs *flag.FlagSet, args []string) (code int, ok bool) {
 }
 
 // cmdList prints the catalogues behind every name the CLI accepts: scenario
-// presets (-scenario), machine profiles (-machine / spec "profile") and
-// registered ciphers (-cipher), under section headers.  -machines restricts
-// the output to the machine section for scripting.
+// presets (-scenario), machine profiles (-machine / spec "profile"),
+// declarative fault models (the "fault" field of DFA-kind specs) and
+// registered ciphers (-cipher), under section headers.  -machines and
+// -fault-models restrict the output to one section for scripting.
 func cmdList(args []string) int {
 	fs := flag.NewFlagSet("list", flag.ContinueOnError)
 	machinesOnly := fs.Bool("machines", false, "list only the registered machine profiles")
+	faultsOnly := fs.Bool("fault-models", false, "list only the fault-model presets and DFA analyzers")
 	if code, ok := parseBare(fs, args); !ok {
 		return code
 	}
-	if !*machinesOnly {
+	all := !*machinesOnly && !*faultsOnly
+	if all {
 		fmt.Println("Scenario presets (run with: explframe run -scenario <name>):")
 		for _, p := range scenario.Presets() {
 			fmt.Printf("  %-14s %s\n", p.Name, p.Description)
 		}
 		fmt.Println()
 	}
-	fmt.Println("Machine profiles (run with: explframe run -machine <name>):")
-	for _, name := range machine.Names() {
-		ms := machine.MustGet(name)
-		fmt.Printf("  %-14s %4d MiB, %d cpus, %s mapper — %s\n",
-			name, ms.Geometry.TotalBytes()>>20, ms.CPUs, ms.MapperName(), ms.Description)
+	if all || *machinesOnly {
+		fmt.Println("Machine profiles (run with: explframe run -machine <name>):")
+		for _, name := range machine.Names() {
+			ms := machine.MustGet(name)
+			fmt.Printf("  %-14s %4d MiB, %d cpus, %s mapper — %s\n",
+				name, ms.Geometry.TotalBytes()>>20, ms.CPUs, ms.MapperName(), ms.Description)
+		}
 	}
-	if *machinesOnly {
+	if all {
+		fmt.Println()
+	}
+	if all || *faultsOnly {
+		fmt.Println("Fault models (the \"fault\" field of dfa-kind scenarios):")
+		for _, p := range fault.Presets() {
+			fmt.Printf("  %-14s %s\n", p.Name, p.Description)
+		}
+		fmt.Println("\nDFA analyzers (ladder strongest-first):")
+		for _, name := range dfa.Names() {
+			a := dfa.MustGet(name)
+			rungs := make([]string, 0, len(a.Ladder()))
+			for _, m := range a.Ladder() {
+				rungs = append(rungs, m.Name())
+			}
+			fmt.Printf("  %-14s round %d: %s\n", name, a.DefaultRound(), strings.Join(rungs, " > "))
+		}
+	}
+	if !all {
 		return 0
 	}
 	fmt.Printf("\nRegistered ciphers (-cipher): %s\n", strings.Join(registry.Names(), ", "))
@@ -58,9 +83,10 @@ func cmdList(args []string) int {
 
 // cmdDescribe resolves a name to its canonical JSON: `describe machine X`
 // prints the machine profile X; `describe X` tries scenario presets and
-// spec/campaign files first and falls back to machine profiles, so every
-// name `list` prints is describable.  Unknown names exit 2 with the usage
-// contract's "not a scenario or machine" report.
+// spec/campaign files first and falls back to machine profiles, then to
+// fault-model presets, so every name `list` prints is describable.  Unknown
+// names exit 2 with the usage contract's "not a scenario, machine or fault
+// model" report.
 func cmdDescribe(args []string) int {
 	fs := flag.NewFlagSet("describe", flag.ContinueOnError)
 	if code, ok := parseBare(fs, args); !ok {
@@ -84,7 +110,10 @@ func cmdDescribe(args []string) int {
 		if ms, ok := machine.Get(ref); ok {
 			return describeMachine(ms)
 		}
-		return fail(fmt.Errorf("%q is not a scenario (preset or spec file) or machine; see 'explframe list'", ref))
+		if p, ok := fault.LookupPreset(ref); ok {
+			return describeFaultModel(p)
+		}
+		return fail(fmt.Errorf("%q is not a scenario (preset or spec file), machine or fault model; see 'explframe list'", ref))
 	case 2:
 		if fs.Arg(0) != "machine" {
 			return fail(fmt.Errorf("usage: explframe describe <preset|spec.json> | explframe describe machine <name>"))
@@ -127,6 +156,35 @@ func describeCampaign(camp scenario.Campaign) int {
 		}
 		os.Stdout.Write(data)
 	}
+	return code
+}
+
+// describeFaultModel prints one fault-model preset's identity, the
+// analyzers whose ladders cover it, and its canonical JSON (pasteable into
+// a dfa-kind scenario file's "fault" field).
+func describeFaultModel(p fault.Preset) int {
+	fmt.Printf("fault model: %s (%s)\n", p.Model.Name(), p.Description)
+	fmt.Printf("hash:        %016x\n", p.Model.Hash())
+	var supported []string
+	for _, name := range dfa.Names() {
+		if dfa.MustGet(name).Supports(p.Model) == nil {
+			supported = append(supported, name)
+		}
+	}
+	fmt.Printf("analyzers:   %s\n", strings.Join(supported, ", "))
+	code := 0
+	if err := p.Model.Validate(); err != nil {
+		fmt.Printf("valid:       NO\n%v\n", err)
+		code = 2
+	} else {
+		fmt.Println("valid:       yes")
+	}
+	data, err := p.Model.EncodeJSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	os.Stdout.Write(data)
 	return code
 }
 

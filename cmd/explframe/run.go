@@ -140,6 +140,15 @@ func runSummary(ctx context.Context, spec scenario.Spec, parallel int) int {
 		if st.Ciphertexts.N() > 0 {
 			fmt.Printf("  ciphertexts to recovery: %s\n", st.Ciphertexts.String())
 		}
+	case scenario.DFA:
+		st := res.DFAStats()
+		fmt.Printf("  fault model: %s\n", spec.FaultModel().Name())
+		fmt.Printf("  unique key recovered: %d/%d (%.3f)\n", st.Recovered.Successes, st.Recovered.Trials, st.Recovered.Rate())
+		fmt.Printf("  master key verified:  %d/%d (%.3f)\n", st.MasterOK.Successes, st.MasterOK.Trials, st.MasterOK.Rate())
+		if st.Pairs.N() > 0 {
+			fmt.Printf("  pairs to recovery: %s\n", st.Pairs.String())
+		}
+		fmt.Printf("  surviving key space: mean %.1f bits\n", st.KeySpaceBits.Mean())
 	}
 	return 0
 }

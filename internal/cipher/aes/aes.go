@@ -256,24 +256,25 @@ func invShiftSub(st *[16]byte, isb *[256]byte) {
 // to group ciphertext bytes by MixColumns column.
 func InvShiftRowsIndex(s int) int { return invShift[s] }
 
-// EncryptBlockWithFault encrypts like EncryptBlock but XORs delta into
-// state byte byteIdx at the entry of the given round (1-based; round r
+// EncryptBlockWithFault encrypts like EncryptBlock but XORs the 16-byte
+// mask into the state at the entry of the given round (1-based; round r
 // means after round r-1's AddRoundKey, before round r's SubBytes).  This is
-// the transient fault model classical DFA assumes; contrast with the
-// persistent table fault the ExplFrame attack produces.
-func EncryptBlockWithFault(ks *Schedule, sb *[256]byte, dst, src []byte, round, byteIdx int, delta byte) {
+// the transient fault model classical DFA assumes — any single-byte mask at
+// round 9 is the Piret–Quisquater setting; contrast with the persistent
+// table fault the ExplFrame attack produces.
+func EncryptBlockWithFault(ks *Schedule, sb *[256]byte, dst, src []byte, round int, mask *[16]byte) {
 	if len(src) < BlockSize || len(dst) < BlockSize {
 		panic("aes: short block")
 	}
-	if round < 1 || round > ks.rounds || byteIdx < 0 || byteIdx > 15 {
-		panic("aes: fault location out of range")
+	if round < 1 || round > ks.rounds {
+		panic("aes: fault round out of range")
 	}
 	var st [16]byte
 	copy(st[:], src[:16])
 	addRoundKey(&st, &ks.rk[0])
 	for r := 1; r < ks.rounds; r++ {
 		if r == round {
-			st[byteIdx] ^= delta
+			addRoundKey(&st, mask)
 		}
 		subShift(&st, sb)
 		for c := 0; c < 4; c++ {
@@ -282,7 +283,7 @@ func EncryptBlockWithFault(ks *Schedule, sb *[256]byte, dst, src []byte, round, 
 		addRoundKey(&st, &ks.rk[r])
 	}
 	if round == ks.rounds {
-		st[byteIdx] ^= delta
+		addRoundKey(&st, mask)
 	}
 	subShift(&st, sb)
 	addRoundKey(&st, &ks.rk[ks.rounds])

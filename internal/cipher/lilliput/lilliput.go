@@ -183,6 +183,27 @@ func Encrypt(ks *Schedule, sb *[16]byte, block uint64) uint64 {
 	return st ^ ks.RoundKey(Rounds+1)
 }
 
+// EncryptWithFault enciphers like Encrypt but XORs delta into the state at
+// the entry of the given round (1-based; before that round's AddRoundKey).
+// This is the transient fault model differential fault analysis assumes;
+// the round-29 setting scatters one faulted nibble into four distinct
+// nibbles of the final S-box layer, which is what the DFA ladder exploits.
+func EncryptWithFault(ks *Schedule, sb *[16]byte, block uint64, round int, delta uint64) uint64 {
+	if round < 1 || round > Rounds {
+		panic("lilliput: fault round out of range")
+	}
+	st := block
+	for r := 1; r <= Rounds; r++ {
+		if r == round {
+			st ^= delta
+		}
+		st ^= ks.RoundKey(r)
+		st = sboxLayer(st, sb)
+		st = PLayer(st)
+	}
+	return st ^ ks.RoundKey(Rounds+1)
+}
+
 // Decrypt deciphers one block using the inverse S-box.
 func Decrypt(ks *Schedule, isb *[16]byte, block uint64) uint64 {
 	st := block ^ ks.RoundKey(Rounds+1)

@@ -195,6 +195,25 @@ func Encrypt(ks *Schedule, sb *[16]byte, block uint64) uint64 {
 	return st ^ ks.RoundKey(Rounds+1)
 }
 
+// EncryptWithFault enciphers like Encrypt but XORs delta into the state at
+// the entry of the given round (1-based; before that round's AddRoundKey) —
+// the transient fault model differential fault analysis assumes.
+func EncryptWithFault(ks *Schedule, sb *[16]byte, block uint64, round int, delta uint64) uint64 {
+	if round < 1 || round > Rounds {
+		panic("present: fault round out of range")
+	}
+	st := block
+	for r := 1; r <= Rounds; r++ {
+		if r == round {
+			st ^= delta
+		}
+		st ^= ks.RoundKey(r)
+		st = sboxLayer(st, sb)
+		st = PLayer(st)
+	}
+	return st ^ ks.RoundKey(Rounds+1)
+}
+
 // Decrypt deciphers one block using the inverse S-box.
 func Decrypt(ks *Schedule, isb *[16]byte, block uint64) uint64 {
 	st := block ^ ks.RoundKey(Rounds+1)

@@ -101,6 +101,14 @@ func (in *aesInstance) Decrypt(dst, src []byte) {
 	aes.DecryptBlock(in.ks, &isb, dst, src)
 }
 
+func (in *aesInstance) EncryptWithFault(table, dst, src []byte, round int, mask []byte) {
+	var sb [256]byte
+	copy(sb[:], table)
+	var m [16]byte
+	copy(m[:], mask)
+	aes.EncryptBlockWithFault(in.ks, &sb, dst, src, round, &m)
+}
+
 // --- PRESENT-80 ----------------------------------------------------------
 
 type present80 struct{}
@@ -165,6 +173,12 @@ func (in *presentInstance) Decrypt(dst, src []byte) {
 	present.DecryptBlock(in.ks, &isb, dst, src)
 }
 
+func (in *presentInstance) EncryptWithFault(table, dst, src []byte, round int, mask []byte) {
+	var sb [16]byte
+	copy(sb[:], table)
+	putU64(dst, present.EncryptWithFault(in.ks, &sb, getU64(src), round, getU64(mask)))
+}
+
 // --- LILLIPUT-style 80-bit SPN -------------------------------------------
 
 type lilliput80 struct{}
@@ -225,4 +239,10 @@ func (in *lilliputInstance) Encrypt(table, dst, src []byte) {
 func (in *lilliputInstance) Decrypt(dst, src []byte) {
 	isb := lilliput.InvSBox()
 	lilliput.DecryptBlock(in.ks, &isb, dst, src)
+}
+
+func (in *lilliputInstance) EncryptWithFault(table, dst, src []byte, round int, mask []byte) {
+	var sb [16]byte
+	copy(sb[:], table)
+	putU64(dst, lilliput.EncryptWithFault(in.ks, &sb, getU64(src), round, getU64(mask)))
 }

@@ -80,6 +80,12 @@ type Instance interface {
 	Encrypt(table, dst, src []byte)
 	// Decrypt deciphers one block using the canonical inverse table.
 	Decrypt(dst, src []byte)
+	// EncryptWithFault enciphers like Encrypt but XORs the BlockSize-byte
+	// mask into the cipher state at the entry of the 1-based round — the
+	// transient fault differential fault analysis assumes, as opposed to
+	// the persistent table fault the Encrypt table argument models.  It
+	// panics if round is outside [1, Rounds].
+	EncryptWithFault(table, dst, src []byte, round int, mask []byte)
 }
 
 // Cells returns the number of PFA cell positions per block: one per S-box

@@ -47,12 +47,14 @@ func TestTablesWorkerCountInvariant(t *testing.T) {
 	}
 }
 
-// The heavyweight machine-backed experiments must also be worker-invariant:
-// E6 runs full attack pipelines through the scenario campaign layer, and
-// E16 does the same across every registered machine profile.  E16's trial
-// streams key on the machine *name* (via machine.Spec hashes), so the
-// invariance also holds against registry growth: a newly registered
-// machine adds a row without re-randomizing the existing rows.
+// The heavyweight campaign-backed experiments must also be worker-invariant:
+// E6 runs full attack pipelines through the scenario campaign layer, E16
+// does the same across every registered machine profile, and E17 drives the
+// DFA fault-model ladder over every registered analyzer.  E16's and E17's
+// trial streams key on the machine/cipher/model *names* (via Spec hashes),
+// so the invariance also holds against registry growth: a newly registered
+// machine, analyzer or ladder rung adds rows without re-randomizing the
+// existing rows.
 func TestAttackTableWorkerCountInvariant(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full end-to-end sweep")
@@ -63,6 +65,7 @@ func TestAttackTableWorkerCountInvariant(t *testing.T) {
 	}{
 		{"E6", E6EndToEnd},
 		{"E16", E16Machines},
+		{"E17", E17DFALadder},
 	} {
 		var ref string
 		for _, workers := range []int{1, runtime.NumCPU()} {

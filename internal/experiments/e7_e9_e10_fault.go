@@ -1,11 +1,13 @@
 package experiments
 
 import (
-	"errors"
+	"bytes"
 	"fmt"
 
 	"explframe/internal/cipher/aes"
 	"explframe/internal/cipher/present"
+	"explframe/internal/cipher/registry"
+	"explframe/internal/fault"
 	"explframe/internal/fault/dfa"
 	"explframe/internal/fault/pfa"
 	"explframe/internal/harness"
@@ -138,32 +140,42 @@ func E9DFAvsPFA(seed uint64, opts ...harness.Option) (*Table, error) {
 	}
 	const trials = 16
 
-	// DFA: unique-key probability vs pairs per column.  Each table row runs
-	// its trials on the harness under its own derived seed domain.
+	// DFA: unique-key probability vs pairs per column, through the generic
+	// analyzer registry.  Each table row runs its trials on the harness
+	// under its own derived seed domain.  The pinned-position precise-byte
+	// models reproduce the historical per-pair draws (one plaintext, one
+	// non-zero delta) byte for byte.
+	dfaCipher := registry.MustGet("aes-128")
+	dfaAnalyzer := dfa.MustGet("aes-128")
 	for ri, perColumn := range []int{1, 2} {
 		pc := perColumn
 		unique, err := harness.Proportion(stats.DeriveSeed(seed, label(9, uint64(ri))), trials,
 			func(_ int, rng *stats.RNG) (bool, error) {
 				key := make([]byte, 16)
 				rng.Bytes(key)
-				ks, err := aes.Expand(key)
+				inst, err := dfaCipher.New(key)
 				if err != nil {
 					return false, err
 				}
-				sb := aes.SBox()
+				table := dfaCipher.SBox()
 				var pairs []dfa.Pair
 				pt := make([]byte, 16)
 				for fb := 0; fb < 4; fb++ {
+					m := fault.New(fault.PreciseByte, fault.WithPosition(fb))
 					for n := 0; n < pc; n++ {
 						rng.Bytes(pt)
-						pairs = append(pairs, dfa.CollectPair(ks, &sb, pt, fb, byte(rng.Intn(255)+1)))
+						p, err := dfa.CollectPair(dfaCipher, inst, table, pt, m, rng)
+						if err != nil {
+							return false, err
+						}
+						pairs = append(pairs, p)
 					}
 				}
-				res, err := dfa.Recover(pairs)
-				if err != nil && !errors.Is(err, dfa.ErrNeedMorePairs) {
+				res, err := dfaAnalyzer.Analyze(pairs, fault.New(fault.PreciseByte))
+				if err != nil {
 					return false, err
 				}
-				return err == nil && res.Unique && res.K10 == ks.RoundKey(10), nil
+				return res.Unique && bytes.Equal(res.Master, key), nil
 			}, opts...)
 		if err != nil {
 			return nil, err

@@ -1,5 +1,5 @@
 // Package experiments contains one driver per experiment in the
-// reconstructed evaluation (E1–E16).  Each driver returns a typed
+// reconstructed evaluation (E1–E17).  Each driver returns a typed
 // report.Table (cells carry kinds and numeric values, columns carry units,
 // expectations carry the paper's reported numbers) that cmd/benchtab and
 // cmd/report render and bench_test.go wraps in testing.B benchmarks, so the
@@ -45,6 +45,7 @@ func All() []Runner {
 		{"E14", "ablation: pcp LIFO vs FIFO", E14PCPPolicy},
 		{"E15", "PFA across the cipher registry", E15PFAAllCiphers},
 		{"E16", "attack vs machine profile", E16Machines},
+		{"E17", "DFA fault-model ladder", E17DFALadder},
 	}
 }
 

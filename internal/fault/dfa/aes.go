@@ -1,0 +1,226 @@
+package dfa
+
+import (
+	"fmt"
+
+	"explframe/internal/cipher/aes"
+	"explframe/internal/fault"
+)
+
+// This file is the Piret–Quisquater analyzer for AES-128: a transient fault
+// confined to one state byte at the input of round 9 (between the
+// MixColumns of rounds 8 and 9) constrains the four last-round key bytes of
+// one MixColumns column, and two well-placed faults per column pin the key.
+// The equations enumerate every fault row and value, so they never consume
+// the fault's position — which is why the whole single-byte ladder
+// (precise-bit through a width-1 random byte) collapses onto the same
+// analysis and key-space curve for AES.
+
+// mixCoeff[r][i] is the MixColumns coefficient multiplying a fault in row r
+// as it lands in row i of the column: column 'r' of the MixColumns matrix.
+var mixCoeff = [4][4]byte{
+	{0x02, 0x01, 0x01, 0x03},
+	{0x03, 0x02, 0x01, 0x01},
+	{0x01, 0x03, 0x02, 0x01},
+	{0x01, 0x01, 0x03, 0x02},
+}
+
+// gfMul is GF(2^8) multiplication modulo the AES polynomial.
+func gfMul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// invSbox is a package copy of the inverse S-box.
+var invSbox = aes.InvSBox()
+
+// columnPositions[c] lists the ciphertext byte indices whose final-round
+// inputs come from MixColumns column c of round 9: state indices 4c..4c+3
+// routed through the last ShiftRows.
+var columnPositions [4][4]int
+
+// aesColumnSpace is the full candidate space of one unconstrained column
+// quadruple: 256^4 last-round key byte combinations.
+const aesColumnSpace = float64(1 << 32)
+
+func init() {
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			columnPositions[c][r] = aes.InvShiftRowsIndex(4*c + r)
+		}
+	}
+	Register(aesAnalyzer{})
+}
+
+// quad is a candidate for the 4 last-round key bytes of one column.
+type quad [4]byte
+
+// columnCandidates computes the set of key quadruples for column c
+// consistent with one pair: there must exist a fault row r and a
+// post-SubBytes fault value eps such that every byte difference matches the
+// MixColumns pattern.
+func columnCandidates(p Pair, c int) map[quad]bool {
+	pos := columnPositions[c]
+	// A pair constrains column c only if it shows a difference there.
+	diff := false
+	for _, i := range pos {
+		if p.Correct[i] != p.Faulty[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		return nil // no information about this column
+	}
+	out := make(map[quad]bool)
+	for r := 0; r < 4; r++ {
+		for eps := 1; eps < 256; eps++ {
+			// Expected input difference at each row of the column.
+			var want [4]byte
+			for i := 0; i < 4; i++ {
+				want[i] = gfMul(byte(eps), mixCoeff[r][i])
+			}
+			// Per-byte key candidates solving
+			//   S^-1(c ^ k) ^ S^-1(c* ^ k) == want[row].
+			var perByte [4][]byte
+			ok := true
+			for row := 0; row < 4; row++ {
+				i := pos[row]
+				a, b := p.Correct[i], p.Faulty[i]
+				var ks []byte
+				for k := 0; k < 256; k++ {
+					if invSbox[a^byte(k)]^invSbox[b^byte(k)] == want[row] {
+						ks = append(ks, byte(k))
+					}
+				}
+				if len(ks) == 0 {
+					ok = false
+					break
+				}
+				perByte[row] = ks
+			}
+			if !ok {
+				continue
+			}
+			for _, k0 := range perByte[0] {
+				for _, k1 := range perByte[1] {
+					for _, k2 := range perByte[2] {
+						for _, k3 := range perByte[3] {
+							out[quad{k0, k1, k2, k3}] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// aesAnalyzer is the Piret–Quisquater analyzer registered for "aes-128".
+type aesAnalyzer struct{}
+
+// Cipher returns the analyzed cipher's registry name.
+func (aesAnalyzer) Cipher() string { return "aes-128" }
+
+// DefaultRound is 9: the fault must land between the MixColumns of rounds
+// 8 and 9 for the equations to hold.
+func (aesAnalyzer) DefaultRound() int { return 9 }
+
+// Ladder lists the supported models strongest-first.  The rungs are flat
+// for AES — the analysis never uses the position, so every byte-confined
+// fault yields the same key-space curve.
+func (aesAnalyzer) Ladder() []fault.Model {
+	return []fault.Model{
+		fault.New(fault.PreciseBit),
+		fault.New(fault.Nibble),
+		fault.New(fault.PreciseByte),
+		fault.New(fault.RandomBytes),
+	}
+}
+
+// Supports accepts any fault confined to a single state byte at round 9;
+// wider random faults can straddle two MixColumns columns, outside the
+// single-fault equations.
+func (aesAnalyzer) Supports(m fault.Model) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if m.Kind == fault.RandomBytes && m.Width > 1 {
+		return fmt.Errorf("%w: a %d-byte random fault can straddle MixColumns columns; aes-128 needs a single-byte-confined fault", ErrUnsupportedModel, m.Width)
+	}
+	if m.Round != 0 && m.Round != 9 {
+		return fmt.Errorf("%w: the Piret-Quisquater equations hold at round 9 only, not round %d", ErrUnsupportedModel, m.Round)
+	}
+	return nil
+}
+
+// Analyze intersects per-column candidate sets over the pairs.  Pairs whose
+// fault landed in other columns contribute nothing to a column, so
+// mixed-position pair sets work.
+func (a aesAnalyzer) Analyze(pairs []Pair, m fault.Model) (*Result, error) {
+	if err := a.Supports(m); err != nil {
+		return nil, err
+	}
+	var sets [4]map[quad]bool
+	for _, p := range pairs {
+		for c := 0; c < 4; c++ {
+			cand := columnCandidates(p, c)
+			if cand == nil {
+				continue
+			}
+			if sets[c] == nil {
+				sets[c] = cand
+				continue
+			}
+			for q := range sets[c] {
+				if !cand[q] {
+					delete(sets[c], q)
+				}
+			}
+		}
+	}
+	res := &Result{Remaining: make([]float64, 4)}
+	unique := true
+	for c := 0; c < 4; c++ {
+		switch {
+		case sets[c] == nil:
+			res.Remaining[c] = aesColumnSpace // untouched column: full space
+			unique = false
+		case len(sets[c]) == 0:
+			return nil, fmt.Errorf("%w: column %d", ErrNoCandidates, c)
+		default:
+			res.Remaining[c] = float64(len(sets[c]))
+			if len(sets[c]) > 1 {
+				unique = false
+			}
+		}
+	}
+	res.KeySpaceBits = spaceBits(res.Remaining)
+	if !unique {
+		return res, nil
+	}
+	var k10 [16]byte
+	for c := 0; c < 4; c++ {
+		for q := range sets[c] {
+			for r := 0; r < 4; r++ {
+				k10[columnPositions[c][r]] = q[r]
+			}
+		}
+	}
+	master := aes.RecoverMasterFromLastRound(k10)
+	res.LastRoundKey = append([]byte(nil), k10[:]...)
+	res.Master = append([]byte(nil), master[:]...)
+	res.Unique = true
+	return res, nil
+}

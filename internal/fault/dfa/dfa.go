@@ -1,215 +1,192 @@
-// Package dfa implements classical differential fault analysis on AES-128
-// in the Piret–Quisquater model: a transient single-byte fault injected at
-// the input of round 9 (between the MixColumns of rounds 8 and 9).
+// Package dfa implements differential fault analysis behind a per-cipher
+// Analyzer registry, mirroring how internal/fault/pfa runs one collector
+// over every victim in internal/cipher/registry.
 //
-// It serves as the baseline the paper's persistent-fault route is compared
-// against (experiment E9): DFA needs only ~2 correct/faulty ciphertext pairs
-// but demands a precisely timed, precisely located transient fault — which
-// Rowhammer cannot deliver — whereas PFA needs thousands of ciphertexts but
-// only one persistent bit flip anywhere in the S-box table, which is exactly
-// what ExplFrame produces.
+// An Analyzer owns the differential equations of one cipher's final rounds
+// and evaluates them under a declarative fault.Model — the precise-to-random
+// ladder of "From Precise to Random: A Systematic DFA of LILLIPUT"
+// (PAPERS.md).  The built-in analyzers are the classical Piret–Quisquater
+// attack on AES-128 (aes.go) and the round-29 ladder analysis of the
+// LILLIPUT-style SPN (lilliput.go); adding one means implementing Analyzer
+// and calling Register, exactly like adding a victim cipher.
+//
+// DFA serves as the baseline the paper's persistent-fault route is compared
+// against (experiments E9 and E17): DFA needs only a handful of
+// correct/faulty ciphertext pairs but demands a precisely timed transient
+// fault — which Rowhammer cannot deliver, and which the ladder shows
+// degrading as precision drops — whereas PFA needs thousands of ciphertexts
+// but only one persistent bit flip anywhere in the S-box table, which is
+// exactly what ExplFrame produces.
 package dfa
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
 
-	"explframe/internal/cipher/aes"
+	"explframe/internal/cipher/registry"
+	"explframe/internal/fault"
+	"explframe/internal/stats"
 )
 
 // Pair is one correct/faulty ciphertext pair for the same plaintext.
 type Pair struct {
-	Correct [16]byte
-	Faulty  [16]byte
+	// Plaintext is the (known) plaintext both ciphertexts encrypt; analyzers
+	// that cannot invert the key schedule from the last round key alone use
+	// it to complete the master key.  It may be nil, which skips completion.
+	Plaintext []byte
+	// Correct and Faulty are the fault-free and faulted ciphertexts.
+	Correct, Faulty []byte
+	// Position reports where the injected fault landed, in the fault
+	// model's units (bit, nibble or byte index over the byte-form block),
+	// for the "precise" kinds whose position is known to the attacker —
+	// fault.Anywhere when the model hides it (random-bytes).
+	Position int
 }
 
-// mixCoeff[r][i] is the MixColumns coefficient multiplying a fault in row r
-// as it lands in row i of the column: column 'r' of the MixColumns matrix.
-var mixCoeff = [4][4]byte{
-	{0x02, 0x01, 0x01, 0x03},
-	{0x03, 0x02, 0x01, 0x01},
-	{0x01, 0x03, 0x02, 0x01},
-	{0x01, 0x01, 0x03, 0x02},
+// Result reports the outcome of one Analyze call.
+type Result struct {
+	// LastRoundKey is the recovered final-round key in the cipher's byte
+	// form (valid when Unique).
+	LastRoundKey []byte
+	// Master is the completed master key (valid when Unique; nil when the
+	// cipher needs a known plaintext the pairs did not carry).
+	Master []byte
+	// Unique reports whether the analysis pinned a single key: every key
+	// group converged to one candidate, or the analyzer finished a tiny
+	// residual space by enumerating it against a known plaintext.
+	Unique bool
+	// Remaining[g] is the exact number of last-round-key candidates still
+	// standing in independent key group g (a MixColumns column quadruple
+	// for AES, one 4-bit nibble for the 64-bit SPNs).  Groups the pairs
+	// never constrained report their full space — 256^4 for an AES column,
+	// 16 for a nibble — so the product over groups is always the true
+	// surviving key-space size.
+	Remaining []float64
+	// KeySpaceBits is log2 of that product: the surviving last-round-key
+	// space in bits, the ladder's figure of merit.
+	KeySpaceBits float64
 }
 
-// gfMul is GF(2^8) multiplication modulo the AES polynomial.
-func gfMul(a, b byte) byte {
-	var p byte
-	for i := 0; i < 8; i++ {
-		if b&1 != 0 {
-			p ^= a
-		}
-		hi := a & 0x80
-		a <<= 1
-		if hi != 0 {
-			a ^= 0x1b
-		}
-		b >>= 1
-	}
-	return p
+// ErrNoCandidates reports pairs inconsistent with the fault model: some key
+// group has no surviving candidate.
+var ErrNoCandidates = errors.New("dfa: no key candidates survive, pairs violate the fault model")
+
+// ErrUnsupportedModel reports a fault model outside what an analyzer's
+// differential equations cover.
+var ErrUnsupportedModel = errors.New("dfa: fault model unsupported by this analyzer")
+
+// Analyzer owns one cipher's differential fault equations.
+type Analyzer interface {
+	// Cipher is the canonical registry name of the cipher analyzed.
+	Cipher() string
+	// DefaultRound is the canonical 1-based fault round the analysis
+	// targets — the round a fault.Model with Round 0 lands in.
+	DefaultRound() int
+	// Supports reports whether the analyzer's equations cover the model
+	// (nil) or why not (wrapping ErrUnsupportedModel).
+	Supports(m fault.Model) error
+	// Ladder returns the supported fault models strongest-first — the rows
+	// of a precise-to-random key-space table.
+	Ladder() []fault.Model
+	// Analyze intersects the key constraints of the pairs, all collected
+	// under model m, and reports the surviving key space.  A non-unique
+	// outcome is a Result with Unique false, not an error; errors mean the
+	// model is unsupported or the pairs contradict it.
+	Analyze(pairs []Pair, m fault.Model) (*Result, error)
 }
 
-// invSbox is a package copy of the inverse S-box.
-var invSbox = aes.InvSBox()
-
-// columnPositions[c] lists the ciphertext byte indices whose final-round
-// inputs come from MixColumns column c of round 9: state indices 4c..4c+3
-// routed through the last ShiftRows.
-var columnPositions [4][4]int
-
-func init() {
-	for c := 0; c < 4; c++ {
-		for r := 0; r < 4; r++ {
-			columnPositions[c][r] = aes.InvShiftRowsIndex(4*c + r)
-		}
-	}
-}
-
-// Errors returned by the attack.
 var (
-	// ErrNeedMorePairs reports that the candidate sets are not yet unique.
-	ErrNeedMorePairs = errors.New("dfa: key bytes not yet unique, need more fault pairs")
-	// ErrNoCandidates reports pairs inconsistent with the fault model.
-	ErrNoCandidates = errors.New("dfa: no key candidates survive, pairs violate the fault model")
+	mu        sync.RWMutex
+	analyzers = map[string]Analyzer{}
 )
 
-// quad is a candidate for the 4 last-round key bytes of one column.
-type quad [4]byte
+// Register adds an analyzer under its cipher's canonical name.  It panics
+// on duplicates — registration conflicts are programming errors.
+func Register(a Analyzer) {
+	mu.Lock()
+	defer mu.Unlock()
+	key := strings.ToLower(a.Cipher())
+	if _, dup := analyzers[key]; dup {
+		panic(fmt.Sprintf("dfa: analyzer for %q registered twice", a.Cipher()))
+	}
+	analyzers[key] = a
+}
 
-// columnCandidates computes the set of key quadruples for column c
-// consistent with one pair: there must exist a fault row r and a
-// post-SubBytes fault value eps such that every byte difference matches the
-// MixColumns pattern.
-func columnCandidates(p Pair, c int) map[quad]bool {
-	pos := columnPositions[c]
-	// A pair constrains column c only if it shows a difference there.
-	diff := false
-	for _, i := range pos {
-		if p.Correct[i] != p.Faulty[i] {
-			diff = true
-			break
-		}
+// Get looks an analyzer up by its cipher's name or alias.
+func Get(cipher string) (Analyzer, bool) {
+	key := strings.ToLower(cipher)
+	if c, ok := registry.Get(cipher); ok {
+		key = strings.ToLower(c.Name())
 	}
-	if !diff {
-		return nil // no information about this column
+	mu.RLock()
+	defer mu.RUnlock()
+	a, ok := analyzers[key]
+	return a, ok
+}
+
+// MustGet is Get for registered-by-construction names; it panics on a miss.
+func MustGet(cipher string) Analyzer {
+	a, ok := Get(cipher)
+	if !ok {
+		panic(fmt.Sprintf("dfa: no analyzer registered for cipher %q", cipher))
 	}
-	out := make(map[quad]bool)
-	for r := 0; r < 4; r++ {
-		for eps := 1; eps < 256; eps++ {
-			// Expected input difference at each row of the column.
-			var want [4]byte
-			for i := 0; i < 4; i++ {
-				want[i] = gfMul(byte(eps), mixCoeff[r][i])
-			}
-			// Per-byte key candidates solving
-			//   S^-1(c ^ k) ^ S^-1(c* ^ k) == want[row].
-			var perByte [4][]byte
-			ok := true
-			for row := 0; row < 4; row++ {
-				i := pos[row]
-				a, b := p.Correct[i], p.Faulty[i]
-				var ks []byte
-				for k := 0; k < 256; k++ {
-					if invSbox[a^byte(k)]^invSbox[b^byte(k)] == want[row] {
-						ks = append(ks, byte(k))
-					}
-				}
-				if len(ks) == 0 {
-					ok = false
-					break
-				}
-				perByte[row] = ks
-			}
-			if !ok {
-				continue
-			}
-			for _, k0 := range perByte[0] {
-				for _, k1 := range perByte[1] {
-					for _, k2 := range perByte[2] {
-						for _, k3 := range perByte[3] {
-							out[quad{k0, k1, k2, k3}] = true
-						}
-					}
-				}
-			}
-		}
+	return a
+}
+
+// Names returns the cipher names with a registered analyzer, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(analyzers))
+	for n := range analyzers {
+		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 
-// Result reports the outcome of a recovery attempt.
-type Result struct {
-	// K10 is the recovered last round key (valid when Unique).
-	K10 [16]byte
-	// Master is the inverted AES-128 master key (valid when Unique).
-	Master [16]byte
-	// Unique reports whether every column converged to one candidate.
-	Unique bool
-	// Remaining[c] is the number of candidate quadruples left per column.
-	Remaining [4]int
+// CollectPair produces one correct/faulty ciphertext pair for plaintext pt
+// under the fault model: it draws the model's unpinned choices from rng,
+// encrypts pt cleanly and with the drawn transient fault, and records the
+// fault position when the model exposes it.  The model's Round 0 resolves
+// to the registered analyzer's DefaultRound.  The draw order — position
+// first when unpinned, then fault values — is pinned by the golden tables.
+func CollectPair(c registry.Cipher, inst registry.Instance, table, pt []byte, m fault.Model, rng *stats.RNG) (Pair, error) {
+	round := m.Round
+	if round == 0 {
+		a, ok := Get(c.Name())
+		if !ok {
+			return Pair{}, fmt.Errorf("dfa: model %s pins no round and cipher %q has no registered analyzer", m.Name(), c.Name())
+		}
+		round = a.DefaultRound()
+	}
+	inj, err := m.Draw(rng, c.BlockSize(), round)
+	if err != nil {
+		return Pair{}, err
+	}
+	p := Pair{
+		Plaintext: append([]byte(nil), pt[:c.BlockSize()]...),
+		Correct:   make([]byte, c.BlockSize()),
+		Faulty:    make([]byte, c.BlockSize()),
+		Position:  inj.Position,
+	}
+	inst.Encrypt(table, p.Correct, pt)
+	inst.EncryptWithFault(table, p.Faulty, pt, inj.Round, inj.Mask)
+	return p, nil
 }
 
-// Recover runs the attack over the pairs, intersecting per-column candidate
-// sets.  Pairs whose fault landed in other columns contribute nothing to a
-// column, so mixed-position pair sets work.
-func Recover(pairs []Pair) (Result, error) {
-	var res Result
-	var sets [4]map[quad]bool
-	for _, p := range pairs {
-		for c := 0; c < 4; c++ {
-			cand := columnCandidates(p, c)
-			if cand == nil {
-				continue
-			}
-			if sets[c] == nil {
-				sets[c] = cand
-				continue
-			}
-			for q := range sets[c] {
-				if !cand[q] {
-					delete(sets[c], q)
-				}
-			}
+// spaceBits folds per-group candidate counts into the surviving key-space
+// size in bits.
+func spaceBits(remaining []float64) float64 {
+	bits := 0.0
+	for _, r := range remaining {
+		if r > 0 {
+			bits += math.Log2(r)
 		}
 	}
-	unique := true
-	for c := 0; c < 4; c++ {
-		if sets[c] == nil {
-			res.Remaining[c] = 4 * 255 * 256 // untouched column: order of full space
-			unique = false
-			continue
-		}
-		res.Remaining[c] = len(sets[c])
-		if len(sets[c]) == 0 {
-			return res, fmt.Errorf("%w: column %d", ErrNoCandidates, c)
-		}
-		if len(sets[c]) > 1 {
-			unique = false
-		}
-	}
-	if !unique {
-		return res, ErrNeedMorePairs
-	}
-	for c := 0; c < 4; c++ {
-		for q := range sets[c] {
-			for r := 0; r < 4; r++ {
-				res.K10[columnPositions[c][r]] = q[r]
-			}
-		}
-	}
-	res.Unique = true
-	res.Master = aes.RecoverMasterFromLastRound(res.K10)
-	return res, nil
-}
-
-// CollectPair produces one correct/faulty ciphertext pair for a random
-// plaintext under the Piret–Quisquater fault model: a transient fault of
-// value delta on state byte faultByte at the entry of round 9.
-func CollectPair(ks *aes.Schedule, sb *[256]byte, pt []byte, faultByte int, delta byte) Pair {
-	var p Pair
-	var c, f [16]byte
-	aes.EncryptBlock(ks, sb, c[:], pt)
-	aes.EncryptBlockWithFault(ks, sb, f[:], pt, 9, faultByte, delta)
-	p.Correct, p.Faulty = c, f
-	return p
+	return bits
 }

@@ -1,0 +1,53 @@
+package dfa_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"explframe/internal/cipher/registry"
+	"explframe/internal/fault"
+	"explframe/internal/fault/dfa"
+	"explframe/internal/stats"
+)
+
+// ExampleAnalyzer is the examples/dfa-lilliput walkthrough in miniature: a
+// round-29 nibble fault on the LILLIPUT-style SPN, collected and analysed
+// entirely through the registry — swap the cipher name and fault model and
+// the same loop runs any registered analyzer's ladder.
+func ExampleAnalyzer() {
+	c := registry.MustGet("lilliput-80")
+	analyzer := dfa.MustGet("lilliput-80")
+	rng := stats.NewRNG(7)
+
+	key := make([]byte, c.KeyBytes())
+	rng.Bytes(key)
+	inst, err := c.New(key)
+	if err != nil {
+		panic(err)
+	}
+	table := c.SBox()
+
+	// One rung of the ladder: a transient fault in one nibble, anywhere in
+	// the round-29 state.
+	m := fault.New(fault.Nibble)
+	var pairs []dfa.Pair
+	pt := make([]byte, c.BlockSize())
+	for n := 1; n <= 48; n++ {
+		rng.Bytes(pt)
+		p, err := dfa.CollectPair(c, inst, table, pt, m, rng)
+		if err != nil {
+			panic(err)
+		}
+		pairs = append(pairs, p)
+		res, err := analyzer.Analyze(pairs, m)
+		if err != nil {
+			panic(err)
+		}
+		if res.Unique {
+			fmt.Printf("unique master key after %d pairs, correct: %v\n", n, bytes.Equal(res.Master, key))
+			return
+		}
+	}
+	fmt.Println("budget exhausted")
+	// Output: unique master key after 27 pairs, correct: true
+}

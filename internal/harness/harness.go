@@ -12,8 +12,7 @@
 // makes fault-injection statistics comparable across runs and machines.
 //
 // Execution knobs are per-call options (WithWorkers, WithContext), so two
-// concurrent callers can never perturb each other's pool size; the old
-// process-global SetWorkers knob survives only as a deprecated default.
+// concurrent callers can never perturb each other's pool size.
 //
 // Results come back ordered by trial index and per-trial failures are
 // aggregated (first error wins for the error value; all are preserved via
@@ -31,30 +30,10 @@ import (
 	"explframe/internal/stats"
 )
 
-// defaultWorkers is the pool size used when no WithWorkers option is given;
-// 0 means runtime.GOMAXPROCS(0) at call time.
-var defaultWorkers atomic.Int64
-
-// Workers returns the current default worker count.
+// Workers returns the default worker count: runtime.GOMAXPROCS(0) at call
+// time.  Callers needing a specific pool size pass WithWorkers.
 func Workers() int {
-	if n := defaultWorkers.Load(); n > 0 {
-		return int(n)
-	}
 	return runtime.GOMAXPROCS(0)
-}
-
-// SetWorkers sets the process-wide default worker count and returns the
-// previous setting (0 meaning "track GOMAXPROCS").  n <= 0 resets to
-// GOMAXPROCS tracking.
-//
-// Deprecated: the global default is a test-ordering hazard — two callers
-// mutating it race each other.  Pass WithWorkers to the call that needs a
-// specific pool size instead.
-func SetWorkers(n int) int {
-	if n < 0 {
-		n = 0
-	}
-	return int(defaultWorkers.Swap(int64(n)))
 }
 
 // Option adjusts one RunTrials call without touching process state.
@@ -66,8 +45,8 @@ type runOpts struct {
 }
 
 // WithWorkers sets the pool size for this call only.  n <= 0 keeps the
-// default (GOMAXPROCS unless overridden by the deprecated SetWorkers).  The
-// trial results are identical at any worker count; only wall time changes.
+// GOMAXPROCS default.  The trial results are identical at any worker count;
+// only wall time changes.
 func WithWorkers(n int) Option {
 	return func(o *runOpts) {
 		if n > 0 {
@@ -169,13 +148,6 @@ func RunTrials[T any](seed uint64, n int, fn TrialFunc[T], opts ...Option) ([]T,
 		return results, errors.Join(err, joinTrialErrors(errs))
 	}
 	return results, joinTrialErrors(errs)
-}
-
-// RunTrialsWorkers is RunTrials with an explicit pool size.
-//
-// Deprecated: pass WithWorkers(workers) to RunTrials instead.
-func RunTrialsWorkers[T any](workers int, seed uint64, n int, fn TrialFunc[T]) ([]T, error) {
-	return RunTrials(seed, n, fn, WithWorkers(workers))
 }
 
 // joinTrialErrors wraps the non-nil entries as TrialErrors in trial order.

@@ -19,7 +19,7 @@ func TestRunTrialsOrderedAndWorkerInvariant(t *testing.T) {
 	fn := func(trial int, rng *stats.RNG) ([2]uint64, error) {
 		return [2]uint64{uint64(trial), rng.Uint64()}, nil
 	}
-	ref, err := RunTrialsWorkers(1, seed, n, fn)
+	ref, err := RunTrials(seed, n, fn, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,12 +48,12 @@ func TestRunTrialsOrderedAndWorkerInvariant(t *testing.T) {
 // while successful trials still return their results.
 func TestRunTrialsErrorAggregation(t *testing.T) {
 	boom := errors.New("boom")
-	res, err := RunTrialsWorkers(4, 1, 10, func(trial int, _ *stats.RNG) (int, error) {
+	res, err := RunTrials(1, 10, func(trial int, _ *stats.RNG) (int, error) {
 		if trial%3 == 0 {
 			return 0, fmt.Errorf("t%d: %w", trial, boom)
 		}
 		return trial * 10, nil
-	})
+	}, WithWorkers(4))
 	if err == nil {
 		t.Fatal("expected aggregated error")
 	}
@@ -78,10 +78,10 @@ func TestRunTrialsErrorAggregation(t *testing.T) {
 func TestRunTrialsEachTrialOnce(t *testing.T) {
 	const n = 37
 	var counts [n]atomic.Int64
-	_, err := RunTrialsWorkers(64, 5, n, func(trial int, _ *stats.RNG) (struct{}, error) {
+	_, err := RunTrials(5, n, func(trial int, _ *stats.RNG) (struct{}, error) {
 		counts[trial].Add(1)
 		return struct{}{}, nil
-	})
+	}, WithWorkers(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,19 +171,10 @@ func TestWithWorkersIsCallLocal(t *testing.T) {
 	}
 }
 
-// SetWorkers must round-trip and drive RunTrials' default pool.  It survives
-// only as a deprecated shim for the old global knob.
-func TestSetWorkers(t *testing.T) {
-	prev := SetWorkers(3)
-	defer SetWorkers(prev)
-	if Workers() != 3 {
-		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
-	}
-	if SetWorkers(0) != 3 {
-		t.Fatal("SetWorkers did not return previous value")
-	}
+// Workers tracks GOMAXPROCS now that the global override is gone.
+func TestWorkersTracksGOMAXPROCS(t *testing.T) {
 	if Workers() != runtime.GOMAXPROCS(0) {
-		t.Fatal("SetWorkers(0) should track GOMAXPROCS")
+		t.Fatalf("Workers() = %d, want GOMAXPROCS %d", Workers(), runtime.GOMAXPROCS(0))
 	}
 }
 
@@ -204,14 +195,14 @@ func TestProportion(t *testing.T) {
 // covers the result/error slices and the index counter.
 func TestRunTrialsRaceStress(t *testing.T) {
 	for round := 0; round < 8; round++ {
-		res, err := RunTrialsWorkers(runtime.NumCPU()*2+2, uint64(round), 200,
+		res, err := RunTrials(uint64(round), 200,
 			func(trial int, rng *stats.RNG) (uint64, error) {
 				sum := uint64(0)
 				for k := 0; k < 100; k++ {
 					sum += rng.Uint64()
 				}
 				return sum, nil
-			})
+			}, WithWorkers(runtime.NumCPU()*2+2))
 		if err != nil {
 			t.Fatal(err)
 		}

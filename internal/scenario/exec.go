@@ -8,6 +8,8 @@ import (
 	"explframe/internal/cipher/registry"
 	"explframe/internal/core"
 	"explframe/internal/dram"
+	"explframe/internal/fault"
+	"explframe/internal/fault/dfa"
 	"explframe/internal/fault/pfa"
 	"explframe/internal/harness"
 	"explframe/internal/rowhammer"
@@ -187,6 +189,65 @@ func runPFATrial(c registry.Cipher, budget int, rng *stats.RNG) (PFATrial, error
 	return out, nil
 }
 
+// DFATrial is one crypto-only differential-fault trial outcome.
+type DFATrial struct {
+	// RecoveredAt is the correct/faulty pair count at which the key space
+	// collapsed to the single true key (-1 if the budget ran out first).
+	RecoveredAt int
+	// MasterOK reports whether the completed master key matched the
+	// victim's.
+	MasterOK bool
+	// KeySpaceBits is the surviving last-round-key space, in bits, when the
+	// trial stopped — 0 on recovery, the ladder's figure of merit when the
+	// budget ran out.
+	KeySpaceBits float64
+}
+
+// dfaBudget resolves the DFA pair budget: 16 pairs unless the spec
+// overrides it.
+func (s Spec) dfaBudget() int {
+	if s.Budget > 0 {
+		return s.Budget
+	}
+	return 16
+}
+
+// runDFATrial executes one DFA-kind trial: random key, correct/faulty pairs
+// collected one at a time under the fault model, re-analysed after each pair
+// until the analyzer pins a unique key or the budget runs out.  Master-key
+// completion is verified against the true key.
+func runDFATrial(c registry.Cipher, a dfa.Analyzer, m fault.Model, budget int, rng *stats.RNG) (DFATrial, error) {
+	out := DFATrial{RecoveredAt: -1}
+	key := make([]byte, c.KeyBytes())
+	rng.Bytes(key)
+	inst, err := c.New(key)
+	if err != nil {
+		return out, err
+	}
+	table := c.SBox()
+	pt := make([]byte, c.BlockSize())
+	pairs := make([]dfa.Pair, 0, budget)
+	for n := 1; n <= budget; n++ {
+		rng.Bytes(pt)
+		p, err := dfa.CollectPair(c, inst, table, pt, m, rng)
+		if err != nil {
+			return out, err
+		}
+		pairs = append(pairs, p)
+		res, err := a.Analyze(pairs, m)
+		if err != nil {
+			return out, err
+		}
+		out.KeySpaceBits = res.KeySpaceBits
+		if res.Unique {
+			out.RecoveredAt = n
+			out.MasterOK = res.Master != nil && bytes.Equal(res.Master, key)
+			break
+		}
+	}
+	return out, nil
+}
+
 // Result carries one executed scenario: the spec it ran plus the per-trial
 // outcomes of whichever pipeline the kind selected (the other slices stay
 // nil).
@@ -201,6 +262,8 @@ type Result struct {
 	Baseline []*core.BaselineResult
 	// PFA holds PFA-kind per-trial outcomes.
 	PFA []PFATrial
+	// DFA holds DFA-kind per-trial outcomes.
+	DFA []DFATrial
 }
 
 // AttackStats aggregates Attack-kind trials per phase.
@@ -290,6 +353,32 @@ func (r *Result) PFAStats() PFAStats {
 	return p
 }
 
+// DFAStats aggregates DFA-kind trials.
+type DFAStats struct {
+	// Recovered and MasterOK are the unique-key and master-key success
+	// proportions.
+	Recovered, MasterOK stats.Proportion
+	// Pairs summarises the correct/faulty pairs needed by successful trials.
+	Pairs stats.Summary
+	// KeySpaceBits summarises the surviving key space across all trials —
+	// zero when every trial recovered, the precision penalty otherwise.
+	KeySpaceBits stats.Summary
+}
+
+// DFAStats folds the DFA trial outcomes.
+func (r *Result) DFAStats() DFAStats {
+	var d DFAStats
+	for _, tr := range r.DFA {
+		d.Recovered.Observe(tr.RecoveredAt > 0)
+		d.MasterOK.Observe(tr.MasterOK)
+		if tr.RecoveredAt > 0 {
+			d.Pairs.Observe(float64(tr.RecoveredAt))
+		}
+		d.KeySpaceBits.Observe(tr.KeySpaceBits)
+	}
+	return d
+}
+
 // Run validates spec and executes its trials on the harness pool,
 // honouring ctx: cancellation stops the trial dispatch and aborts attack
 // pipelines between phases, returning promptly with an error carrying
@@ -334,6 +423,18 @@ func Run(ctx context.Context, spec Spec, opts ...harness.Option) (*Result, error
 		var err error
 		res.PFA, err = harness.RunTrials(spec.Seed, spec.Trials, func(_ int, rng *stats.RNG) (PFATrial, error) {
 			return runPFATrial(c, budget, rng)
+		}, opts...)
+		if err != nil {
+			return nil, err
+		}
+	case DFA:
+		c := registry.MustGet(spec.cipherName())
+		a := dfa.MustGet(c.Name())
+		m := spec.FaultModel()
+		budget := spec.dfaBudget()
+		var err error
+		res.DFA, err = harness.RunTrials(spec.Seed, spec.Trials, func(_ int, rng *stats.RNG) (DFATrial, error) {
+			return runDFATrial(c, a, m, budget, rng)
 		}, opts...)
 		if err != nil {
 			return nil, err

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
 	"explframe/internal/core"
 	"explframe/internal/dram"
+	"explframe/internal/fault"
 	"explframe/internal/harness"
 	"explframe/internal/rowhammer"
 )
@@ -176,6 +178,45 @@ func TestRunPFAKind(t *testing.T) {
 	}
 	if !reflect.DeepEqual(ref.PFA, par.PFA) {
 		t.Fatal("PFA results depend on worker count")
+	}
+}
+
+// A DFA-kind run must execute without the DRAM substrate, recover master
+// keys through the registered analyzer, and stay worker-invariant.
+func TestRunDFAKind(t *testing.T) {
+	spec := New(WithFaultModel(fault.New(fault.PreciseByte)), WithTrials(4), WithSeed(7))
+	ref, err := Run(context.Background(), spec, harness.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ref.DFAStats()
+	if st.Recovered.Trials != 4 {
+		t.Fatalf("trials = %d", st.Recovered.Trials)
+	}
+	if st.MasterOK.Successes != st.Recovered.Successes || st.MasterOK.Successes == 0 {
+		t.Fatalf("master completion lags recovery: %+v", st)
+	}
+	par, err := Run(context.Background(), spec, harness.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.DFA, par.DFA) {
+		t.Fatal("DFA results depend on worker count")
+	}
+}
+
+// The DFA fault model resolves to the analyzer ladder's strongest rung when
+// the spec leaves it nil, and the explicit model enters the canonical name.
+func TestDFAFaultModelResolution(t *testing.T) {
+	if m := New(WithKind(DFA)).FaultModel(); m.Kind != fault.PreciseBit {
+		t.Fatalf("nil fault on dfa kind resolved to %s, want the ladder head", m.Name())
+	}
+	s := New(WithFaultModel(fault.New(fault.Nibble)), WithCipher("lilliput-80"))
+	if m := s.FaultModel(); m.Kind != fault.Nibble {
+		t.Fatalf("explicit fault model lost: %s", m.Name())
+	}
+	if name := s.Name(); !strings.Contains(name, "+fault=nibble@any") || !strings.Contains(name, "dfa:lilliput-80") {
+		t.Fatalf("canonical name %q misses the fault model or cipher", name)
 	}
 }
 

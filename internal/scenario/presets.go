@@ -1,5 +1,7 @@
 package scenario
 
+import "explframe/internal/fault"
+
 // Preset is a named, documented scenario the CLI can list, describe and run
 // without a spec file.
 type Preset struct {
@@ -85,6 +87,18 @@ func Presets() []Preset {
 			Name:        "pfa-aes",
 			Description: "crypto-only PFA on AES-128 (16 trials, no DRAM simulation)",
 			Spec:        New(WithLabel("pfa-aes"), WithKind(PFA), WithTrials(16)),
+		},
+		{
+			Name:        "dfa-aes",
+			Description: "Piret-Quisquater DFA on AES-128 under precise-byte faults (12 trials)",
+			Spec: New(WithLabel("dfa-aes"),
+				WithFaultModel(fault.New(fault.PreciseByte)), WithTrials(12)),
+		},
+		{
+			Name:        "dfa-lilliput",
+			Description: "round-29 nibble-fault DFA on LILLIPUT-80, 40-pair budget (8 trials)",
+			Spec: New(WithLabel("dfa-lilliput"), WithCipher("lilliput-80"),
+				WithFaultModel(fault.New(fault.Nibble)), WithTrials(8), WithBudget(40)),
 		},
 		{
 			Name:        "spray",

@@ -26,6 +26,8 @@ import (
 	"strings"
 
 	"explframe/internal/cipher/registry"
+	"explframe/internal/fault"
+	"explframe/internal/fault/dfa"
 	"explframe/internal/machine"
 	"explframe/internal/stats"
 )
@@ -33,8 +35,8 @@ import (
 // Kind selects which trial pipeline a Spec drives.
 type Kind string
 
-// The four scenario kinds, one per trial pipeline in internal/core and
-// internal/fault/pfa.
+// The five scenario kinds, one per trial pipeline in internal/core,
+// internal/fault/pfa and internal/fault/dfa.
 const (
 	// Attack runs the full pipeline: template → plant → steer → re-hammer
 	// → persistent fault analysis.
@@ -48,6 +50,11 @@ const (
 	// PFA runs the crypto-only persistent-fault key recovery: a random
 	// single-bit S-box fault and ciphertext collection, no simulated DRAM.
 	PFA Kind = "pfa"
+	// DFA runs the crypto-only differential-fault key recovery: transient
+	// faults drawn from a declarative fault.Model, analysed by the cipher's
+	// registered dfa.Analyzer — the baseline the persistent route is
+	// compared against.
+	DFA Kind = "dfa"
 )
 
 // Profile selects the simulated machine the scenario runs on: any name in
@@ -171,8 +178,12 @@ type Spec struct {
 	// "random-spray" or "pagemap-targeted".
 	BaselineModel string `json:"baseline,omitempty"`
 	// Budget bounds the ciphertexts of a PFA-kind trial (0 = 25 per
-	// S-box value, the coupon-collector scaling).
+	// S-box value, the coupon-collector scaling) or the correct/faulty
+	// pairs of a DFA-kind trial (0 = 16).
 	Budget int `json:"budget,omitempty"`
+	// Fault is the transient fault model of a DFA-kind trial; nil inherits
+	// the strongest rung of the cipher analyzer's ladder.
+	Fault *fault.Model `json:"fault,omitempty"`
 }
 
 // Option mutates a Spec under construction.
@@ -298,8 +309,18 @@ func WithBaseline(model string) Option {
 	}
 }
 
-// WithBudget bounds a PFA-kind trial's ciphertext budget.
+// WithBudget bounds a PFA-kind trial's ciphertext budget or a DFA-kind
+// trial's pair budget.
 func WithBudget(n int) Option { return func(s *Spec) { s.Budget = n } }
+
+// WithFaultModel selects a DFA-kind scenario under the given transient
+// fault model, the way WithBaseline selects its kind.
+func WithFaultModel(m fault.Model) Option {
+	return func(s *Spec) {
+		s.Kind = DFA
+		s.Fault = &m
+	}
+}
 
 // hammerModes lists the accepted HammerSpec.Mode strings.
 var hammerModes = map[string]bool{
@@ -321,9 +342,9 @@ func (s Spec) Validate() error {
 	}
 
 	switch s.Kind {
-	case Attack, Steering, Baseline, PFA:
+	case Attack, Steering, Baseline, PFA, DFA:
 	default:
-		fail("kind: unknown %q (want attack, steering, baseline or pfa)", s.Kind)
+		fail("kind: unknown %q (want attack, steering, baseline, pfa or dfa)", s.Kind)
 	}
 	if s.Machine != nil {
 		if s.Profile != "" {
@@ -387,6 +408,23 @@ func (s Spec) Validate() error {
 	} else if s.BaselineModel != "" {
 		fail("baseline: model %q set on kind %q (only kind baseline uses it)", s.BaselineModel, s.Kind)
 	}
+	if s.Kind == DFA {
+		a, ok := dfa.Get(s.cipherName())
+		if !ok {
+			fail("cipher: no DFA analyzer registered for %q (have: %s)", s.CipherName(), strings.Join(dfa.Names(), ", "))
+		}
+		if s.Fault != nil {
+			if err := s.Fault.Validate(); err != nil {
+				fail("fault: %w", err)
+			} else if ok {
+				if err := a.Supports(*s.Fault); err != nil {
+					fail("fault: %w", err)
+				}
+			}
+		}
+	} else if s.Fault != nil {
+		fail("fault: model %q set on kind %q (only kind dfa uses it)", s.Fault.Name(), s.Kind)
+	}
 	return errors.Join(errs...)
 }
 
@@ -419,6 +457,21 @@ func (s Spec) MachineName() string {
 		return string(ProfileDefault)
 	}
 	return string(s.Profile)
+}
+
+// FaultModel resolves the fault model a DFA-kind scenario runs under: the
+// explicit Fault when set, otherwise the strongest rung of the cipher
+// analyzer's ladder.
+func (s Spec) FaultModel() fault.Model {
+	if s.Fault != nil {
+		return *s.Fault
+	}
+	if a, ok := dfa.Get(s.cipherName()); ok {
+		if l := a.Ladder(); len(l) > 0 {
+			return l[0]
+		}
+	}
+	return fault.New(fault.PreciseByte)
 }
 
 // cipherName resolves the cipher default.
@@ -459,7 +512,7 @@ func (s Spec) Name() string {
 	} else if p := s.Profile; p != "" && p != ProfileDefault {
 		fmt.Fprintf(&b, ":%s", p)
 	}
-	if s.Kind == Attack || s.Kind == PFA || s.Kind == Baseline {
+	if s.Kind == Attack || s.Kind == PFA || s.Kind == Baseline || s.Kind == DFA {
 		fmt.Fprintf(&b, ":%s", s.CipherName())
 	}
 	if s.Kind == Baseline {
@@ -504,6 +557,9 @@ func (s Spec) Name() string {
 	}
 	if s.Budget > 0 {
 		fmt.Fprintf(&b, "+budget=%d", s.Budget)
+	}
+	if s.Fault != nil {
+		fmt.Fprintf(&b, "+fault=%s", s.Fault.Name())
 	}
 	return b.String()
 }

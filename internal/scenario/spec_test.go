@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"explframe/internal/fault"
 	"explframe/internal/machine"
 )
 
@@ -19,6 +20,9 @@ func sampleSpecs() []Spec {
 		New(WithKind(Steering), WithPCPFIFO(), WithVictimPages(16), WithNoIdleDrain(), WithTrials(25)),
 		New(WithProfile(ProfileFast), WithBaseline("pagemap-targeted"), WithTrials(12)),
 		New(WithKind(PFA), WithCipher("lilliput-80"), WithBudget(500), WithTrials(16)),
+		New(WithKind(DFA), WithTrials(8)),
+		New(WithFaultModel(fault.New(fault.PreciseByte)), WithTrials(8)),
+		New(WithCipher("lilliput-80"), WithFaultModel(fault.New(fault.Nibble, fault.WithPosition(3))), WithBudget(40), WithTrials(4)),
 		New(WithProfile("ddr4"), WithTrials(4)),
 		New(WithMachine(machine.MustGet("server-1g")), WithCipher("present-80")),
 		New(WithMachine(machine.New("", machine.WithTRR(4, 300))), WithTrials(2)),
@@ -87,6 +91,10 @@ func TestValidateRejections(t *testing.T) {
 		{"baseline without model", New(WithKind(Baseline)), "baseline"},
 		{"unknown baseline model", New(WithBaseline("rowpress")), "baseline"},
 		{"baseline model on attack kind", New().With(func(s *Spec) { s.BaselineModel = "random-spray" }), "baseline"},
+		{"dfa without analyzer", New(WithKind(DFA), WithCipher("present-80")), "no DFA analyzer"},
+		{"invalid fault model", New(WithFaultModel(fault.Model{Kind: "laser", Position: fault.Anywhere})), "kind: unknown"},
+		{"unsupported fault model", New(WithFaultModel(fault.New(fault.RandomBytes, fault.WithWidth(5)))), "fault"},
+		{"fault model on attack kind", New().With(func(s *Spec) { m := fault.New(fault.PreciseBit); s.Fault = &m }), "only kind dfa"},
 	}
 	for _, tc := range cases {
 		err := tc.spec.Validate()

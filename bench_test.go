@@ -521,6 +521,40 @@ func BenchmarkProcessLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkSparseDeviceConstruction measures NewDevice for an 8 GiB
+// geometry with the default weak-cell population: the sparse backing store
+// makes this proportional to the weak-cell count (plus one int32 per row),
+// not the capacity.  allocs/op and B/op are the headline numbers; the
+// asserted ceiling lives in machine.TestLargeDeviceConstructionIsSparse.
+func BenchmarkSparseDeviceConstruction(b *testing.B) {
+	g := dram.Geometry{Channels: 1, DIMMs: 1, Ranks: 1, Banks: 16, Rows: 1 << 16, RowBytes: 8192}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dram.NewDevice(g, dram.DefaultFaultModel(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHammerLoopSteadyState measures the post-warm-up hammer loop on
+// the default machine with allocation reporting — the zero-alloc contract
+// `benchtab -check-trajectory` enforces in CI.
+func BenchmarkHammerLoopSteadyState(b *testing.B) {
+	p, vas, err := machine.NewHammerBench(machine.MustGet("default"), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.HammerLoop(vas, 1<<21); err != nil { // past one refresh window
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := p.HammerLoop(vas, b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkHammerLoopPerMachine times the translation-cached hammer loop on
 // every registered machine profile — the in-tree counterpart of the
 // BENCH_machines.json snapshot benchtab emits (interface-dispatched mapper,

@@ -19,8 +19,10 @@ const hammerTimingActivations = 400_000
 // HammerLoop activation cost through the full kernel/DRAM stack, and one
 // seed-1 end-to-end attack trial — and writes the machine.BenchFile
 // snapshot.  Timings are host-dependent by nature; the snapshot anchors
-// the bench trajectory and its *shape* is what CI checks.
-func runBenchMachines(path string) int {
+// the bench trajectory and its *shape* is what CI checks.  With a
+// trajectory path, the same entries are additionally appended as one
+// timestamped point to the append-only history.
+func runBenchMachines(path, trajectoryPath string) int {
 	f := machine.BenchFile{
 		Schema: machine.BenchSchema,
 		Note:   "regenerate with: go run ./cmd/benchtab -bench-machines BENCH_machines.json",
@@ -61,6 +63,35 @@ func runBenchMachines(path string) int {
 		return 1
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d profiles)\n", path, len(f.Entries))
+	if trajectoryPath != "" {
+		return appendTrajectoryPoint(trajectoryPath, f)
+	}
+	return 0
+}
+
+// appendTrajectoryPoint extends (or starts) the append-only trajectory with
+// the entries of a just-completed bench run.
+func appendTrajectoryPoint(path string, f machine.BenchFile) int {
+	prev, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	out, err := machine.AppendPoint(prev, f.Host, f.Entries, time.Now())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	traj, err := machine.ParseTrajectoryFile(out)
+	if err != nil { // cannot happen: AppendPoint validates — but never write+lie
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "appended point %d to %s\n", len(traj.Points), path)
 	return 0
 }
 
@@ -74,7 +105,14 @@ func timeHammerLoop(ms machine.Spec) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	// An aggressor set larger than the activation budget would truncate
+	// rounds to zero — HammerLoop would issue nothing and the division
+	// below would be 0/0.  Clamp to one round and divide by the
+	// activations actually issued, not the nominal budget.
 	rounds := hammerTimingActivations / len(vas)
+	if rounds < 1 {
+		rounds = 1
+	}
 	start := time.Now()
 	if err := proc.HammerLoop(vas, rounds); err != nil {
 		return 0, err
@@ -97,4 +135,43 @@ func runCheckBenchMachines(path string) int {
 	}
 	fmt.Fprintf(os.Stderr, "%s: schema %d, %d profiles, ok\n", path, f.Schema, len(f.Entries))
 	return 0
+}
+
+// runCheckTrajectory is the CI regression gate: the checked-in trajectory
+// must strictly parse (append-only timestamps, registry-exact latest
+// point), and the hammer hot path must still be allocation-free in steady
+// state on every registered machine — the property the trajectory's
+// timings are meaningless without.
+func runCheckTrajectory(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	f, err := machine.ParseTrajectoryFile(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "%s: schema %d, %d points (latest %s), ok\n",
+		path, f.Schema, len(f.Points), f.Points[len(f.Points)-1].Time)
+	if machine.RaceEnabled {
+		fmt.Fprintln(os.Stderr, "race detector active: skipping the zero-alloc gate (instrumentation allocates)")
+		return 0
+	}
+	fail := 0
+	for _, name := range machine.Names() {
+		allocs, err := machine.HammerLoopSteadyStateAllocs(machine.MustGet(name), 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: alloc gate: %v\n", name, err)
+			return 1
+		}
+		status := "ok"
+		if allocs != 0 {
+			status = "FAIL"
+			fail = 1
+		}
+		fmt.Fprintf(os.Stderr, "%-14s steady-state hammer allocs/run: %.2f %s\n", name, allocs, status)
+	}
+	return fail
 }

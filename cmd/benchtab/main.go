@@ -12,6 +12,11 @@
 //	benchtab -bench-machines BENCH_machines.json        # re-time every machine profile
 //	benchtab -check-bench-machines BENCH_machines.json  # parse/validate the snapshot (CI smoke)
 //
+//	benchtab -bench-machines BENCH_machines.json -append-trajectory BENCH_trajectory.json
+//	                                                    # ...and append the run to the trajectory
+//	benchtab -check-trajectory BENCH_trajectory.json    # validate the trajectory and the
+//	                                                    # zero-alloc hammer contract (CI gate)
+//
 // With more than one experiment selected, json emits a single JSON array
 // (one element per table) so the output stays parseable as one document;
 // csv is a single-table format and requires -exp.  Timing lines go to
@@ -42,13 +47,24 @@ func main() {
 		"re-time HammerLoop and one attack trial on every registered machine profile, write the JSON snapshot to this file and exit")
 	checkBenchMachines := flag.String("check-bench-machines", "",
 		"parse and validate a bench-machines snapshot (shape only, not timings) and exit")
+	appendTrajectory := flag.String("append-trajectory", "",
+		"with -bench-machines: also append the run as one timestamped point to this trajectory file")
+	checkTrajectory := flag.String("check-trajectory", "",
+		"validate a bench trajectory (shape, append-only timestamps, registry coverage) plus the steady-state zero-alloc hammer contract, and exit")
 	flag.Parse()
 
+	if *appendTrajectory != "" && *benchMachines == "" {
+		fmt.Fprintln(os.Stderr, "-append-trajectory needs -bench-machines (the run being appended)")
+		os.Exit(2)
+	}
 	if *benchMachines != "" {
-		os.Exit(runBenchMachines(*benchMachines))
+		os.Exit(runBenchMachines(*benchMachines, *appendTrajectory))
 	}
 	if *checkBenchMachines != "" {
 		os.Exit(runCheckBenchMachines(*checkBenchMachines))
+	}
+	if *checkTrajectory != "" {
+		os.Exit(runCheckTrajectory(*checkTrajectory))
 	}
 
 	f, err := report.ParseFormat(*format)

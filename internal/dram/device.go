@@ -84,26 +84,40 @@ type Flip struct {
 	From uint8  // original bit value
 }
 
-// Device is a simulated DRAM module: a flat byte store plus per-row
-// disturbance state.  It is not safe for concurrent use; the kernel layer
-// serialises access, matching a single memory controller.
+// rowState is the disturbance state of one row that holds weak cells.
+// Rows without weak cells cannot flip and carry no state at all: the
+// per-row arrays the hammer loop walks are sized by the weak-cell
+// population, not the geometry, so a multi-GiB device stays cheap.
+type rowState struct {
+	cells []*WeakCell
+	// disturb is the accumulated disturbance in the current refresh window.
+	disturb float64
+	// minThr caches the lowest threshold among cells that can still fire
+	// (neither flipped nor held); +Inf when none can.  The hammer loop
+	// consults it to skip the per-cell scan for the bulk of activations,
+	// which sit below every active threshold.
+	minThr float64
+}
+
+// Device is a simulated DRAM module: a sparse chunk-granular byte store
+// plus per-row disturbance state.  It is not safe for concurrent use; the
+// kernel layer serialises access, matching a single memory controller.
 type Device struct {
 	geom   Geometry
 	mapper AddressMapper
 	model  FaultModel
-	data   []byte
+	data   *store
 
-	// Per-(bankGroup, row) state, indexed bg*Rows+row.  Dense arrays keep
-	// the hammer loop allocation- and hash-free.
-	weakByRow [][]*WeakCell
-	disturb   []float64
-	dirty     []int // rows with non-zero disturbance, for cheap refresh
+	// rowIdx maps the dense (bankGroup, row) index bg*Rows+row to an index
+	// into rowStates, or -1 for rows without weak cells.  One int32 per row
+	// is the only geometry-proportional cost of the disturbance model; the
+	// states themselves are packed into rowStates, sized by the weak-cell
+	// population.  The two-level layout keeps the hammer loop's per-
+	// activation lookup a pair of array reads — allocation- and hash-free.
+	rowIdx    []int32
+	rowStates []rowState
+	dirty     []int32 // rowStates indices with non-zero disturbance, for cheap refresh
 	weakCount int
-	// minThr caches, per row, the lowest threshold among cells that can
-	// still fire (neither flipped nor held); +Inf when none can.  The
-	// hammer loop consults it to skip the per-cell scan for the bulk of
-	// activations, which sit below every active threshold.
-	minThr []float64
 
 	// openRow tracks the row buffer per bank group; an access to a
 	// different row precharges and activates, which is what disturbs
@@ -162,21 +176,19 @@ func NewDeviceWithMapper(m AddressMapper, model FaultModel, seed uint64) (*Devic
 	}
 	nRows := g.NumBankGroups() * g.Rows
 	d := &Device{
-		geom:      g,
-		mapper:    m,
-		model:     model,
-		data:      make([]byte, g.TotalBytes()),
-		weakByRow: make([][]*WeakCell, nRows),
-		disturb:   make([]float64, nRows),
-		minThr:    make([]float64, nRows),
-		openRow:   make([]int, g.NumBankGroups()),
-		rng:       stats.NewRNG(seed),
+		geom:    g,
+		mapper:  m,
+		model:   model,
+		data:    newStore(g.TotalBytes()),
+		rowIdx:  make([]int32, nRows),
+		openRow: make([]int, g.NumBankGroups()),
+		rng:     stats.NewRNG(seed),
 	}
 	for i := range d.openRow {
 		d.openRow[i] = -1
 	}
-	for i := range d.minThr {
-		d.minThr[i] = inf
+	for i := range d.rowIdx {
+		d.rowIdx[i] = -1
 	}
 	d.placeWeakCells()
 	d.initTRR()
@@ -187,10 +199,11 @@ func NewDeviceWithMapper(m AddressMapper, model FaultModel, seed uint64) (*Devic
 var inf = math.Inf(1)
 
 // recomputeMinThr refreshes the cached minimum active threshold of a row
-// after any cell's flipped/held state changed.
-func (d *Device) recomputeMinThr(idx int) {
+// state after any cell's flipped/held state changed.
+func (d *Device) recomputeMinThr(si int32) {
+	rs := &d.rowStates[si]
 	m := inf
-	for _, wc := range d.weakByRow[idx] {
+	for _, wc := range rs.cells {
 		if wc.flipped || wc.held {
 			continue
 		}
@@ -198,15 +211,44 @@ func (d *Device) recomputeMinThr(idx int) {
 			m = t
 		}
 	}
-	d.minThr[idx] = m
+	rs.minThr = m
 }
 
 // rowIndex returns the dense index of (bankGroup, row).
 func (d *Device) rowIndex(bg, row int) int { return bg*d.geom.Rows + row }
 
+// stateFor returns the rowStates index for the dense row index, creating
+// the state on first use (weak-cell placement and PlantWeakCell).
+func (d *Device) stateFor(idx int) int32 {
+	si := d.rowIdx[idx]
+	if si < 0 {
+		si = int32(len(d.rowStates))
+		d.rowStates = append(d.rowStates, rowState{minThr: inf})
+		d.rowIdx[idx] = si
+	}
+	return si
+}
+
+// cellsAt returns the weak cells of the dense row index (nil for rows
+// without any).
+func (d *Device) cellsAt(idx int) []*WeakCell {
+	si := d.rowIdx[idx]
+	if si < 0 {
+		return nil
+	}
+	return d.rowStates[si].cells
+}
+
 // placeWeakCells draws the weak-cell population.  The expected number of weak
 // cells is density * totalBits; placement is uniform over (bank, row, byte,
-// bit) and thresholds uniform over the configured spread.
+// bit) and thresholds uniform over the configured spread.  Two cells are
+// never placed on the same bit: colliding cells would cancel each other's
+// data flips while both counted as corrupted, inflating ECC-uncorrectable
+// statistics.  A collision moves to the next free bit in row-major order
+// (open addressing) instead of consuming extra draws from the generator, so
+// the placement stream is identical whether or not any collision occurred:
+// every non-colliding cell keeps the position it had before collisions were
+// handled at all, and a colliding cell stays adjacent to its twin.
 func (d *Device) placeWeakCells() {
 	totalBits := float64(d.geom.TotalBytes()) * 8
 	expected := totalBits * d.model.WeakCellDensity
@@ -216,21 +258,40 @@ func (d *Device) placeWeakCells() {
 	if d.rng.Float64() < expected-float64(n) {
 		n++
 	}
+	if n > 0 {
+		d.rowStates = make([]rowState, 0, n)
+	}
 	banks := d.geom.NumBankGroups()
+	totalKeys := uint64(banks) * uint64(d.geom.Rows) * uint64(d.geom.RowBytes) * 8
+	occupied := make(map[uint64]struct{}, n)
 	for i := 0; i < n; i++ {
 		wc := &WeakCell{
 			Bank:      d.rng.Intn(banks),
 			Row:       d.rng.Intn(d.geom.Rows),
 			ByteInRow: d.rng.Intn(d.geom.RowBytes),
 			Bit:       uint8(d.rng.Intn(8)),
-			FlipTo:    uint8(d.rng.Intn(2)),
 		}
+		key := (uint64(d.rowIndex(wc.Bank, wc.Row))*uint64(d.geom.RowBytes)+uint64(wc.ByteInRow))*8 + uint64(wc.Bit)
+		for {
+			if _, dup := occupied[key]; !dup {
+				occupied[key] = struct{}{}
+				break
+			}
+			key = (key + 1) % totalKeys
+			wc.Bit = uint8(key % 8)
+			wc.ByteInRow = int(key / 8 % uint64(d.geom.RowBytes))
+			ri := int(key / 8 / uint64(d.geom.RowBytes))
+			wc.Bank = ri / d.geom.Rows
+			wc.Row = ri % d.geom.Rows
+		}
+		wc.FlipTo = uint8(d.rng.Intn(2))
 		spread := 1 + d.rng.Float64()*d.model.ThresholdSpread
 		wc.Threshold = int(float64(d.model.BaseThreshold) * spread)
-		idx := d.rowIndex(wc.Bank, wc.Row)
-		d.weakByRow[idx] = append(d.weakByRow[idx], wc)
-		if t := float64(wc.Threshold); t < d.minThr[idx] {
-			d.minThr[idx] = t
+		si := d.stateFor(d.rowIndex(wc.Bank, wc.Row))
+		rs := &d.rowStates[si]
+		rs.cells = append(rs.cells, wc)
+		if t := float64(wc.Threshold); t < rs.minThr {
+			rs.minThr = t
 		}
 		d.weakCount++
 	}
@@ -240,10 +301,10 @@ func (d *Device) placeWeakCells() {
 // hook for deterministic scenarios.
 func (d *Device) PlantWeakCell(wc WeakCell) {
 	c := wc
-	idx := d.rowIndex(c.Bank, c.Row)
-	d.weakByRow[idx] = append(d.weakByRow[idx], &c)
+	si := d.stateFor(d.rowIndex(c.Bank, c.Row))
+	d.rowStates[si].cells = append(d.rowStates[si].cells, &c)
 	d.weakCount++
-	d.recomputeMinThr(idx)
+	d.recomputeMinThr(si)
 }
 
 // Geometry returns the device geometry.
@@ -272,7 +333,12 @@ func (d *Device) DrainFlipLog() []Flip {
 }
 
 // Size returns the capacity in bytes.
-func (d *Device) Size() uint64 { return uint64(len(d.data)) }
+func (d *Device) Size() uint64 { return d.data.size }
+
+// MaterializedBytes reports how much backing storage the device has
+// actually allocated.  A freshly built multi-GiB device sits near zero;
+// the number grows chunk by chunk as distinguishing writes land.
+func (d *Device) MaterializedBytes() uint64 { return d.data.materializedBytes() }
 
 // activate opens the row containing a, charging disturbance to neighbours if
 // the access is a row conflict (the hammering primitive).
@@ -307,26 +373,26 @@ func (d *Device) addDisturb(bg, row int, w float64) {
 	if row < 0 || row >= d.geom.Rows {
 		return
 	}
-	idx := d.rowIndex(bg, row)
-	cells := d.weakByRow[idx]
-	if len(cells) == 0 {
-		// Rows with no weak cells cannot flip; skip accumulator upkeep for
-		// them to keep hammering loops cheap.
+	si := d.rowIdx[bg*d.geom.Rows+row]
+	if si < 0 {
+		// Rows with no weak cells cannot flip; they carry no accumulator at
+		// all, which keeps hammering loops cheap.
 		return
 	}
-	if d.disturb[idx] == 0 {
-		d.dirty = append(d.dirty, idx)
+	rs := &d.rowStates[si]
+	if rs.disturb == 0 {
+		d.dirty = append(d.dirty, si)
 	}
-	d.disturb[idx] += w
-	acc := d.disturb[idx]
-	if acc < d.minThr[idx] {
+	rs.disturb += w
+	acc := rs.disturb
+	if acc < rs.minThr {
 		// No still-armed cell can cross yet (or none is left armed):
 		// skip the per-cell scan, which the hammer loop hits millions of
 		// times below the onset.
 		return
 	}
 	changed := false
-	for _, wc := range cells {
+	for _, wc := range rs.cells {
 		if wc.flipped || wc.held {
 			continue
 		}
@@ -343,7 +409,7 @@ func (d *Device) addDisturb(bg, row int, w float64) {
 		}
 	}
 	if changed {
-		d.recomputeMinThr(idx)
+		d.recomputeMinThr(si)
 	}
 }
 
@@ -351,14 +417,14 @@ func (d *Device) addDisturb(bg, row int, w float64) {
 func (d *Device) flipCell(bg, row int, wc *WeakCell) {
 	a := d.addrOfCell(bg, row, wc.ByteInRow)
 	phys := d.mapper.ToPhys(a)
-	cur := (d.data[phys] >> wc.Bit) & 1
+	cur := (d.data.load(phys) >> wc.Bit) & 1
 	wc.flipped = true
 	if cur == wc.FlipTo {
 		// The cell already holds its failure polarity; nothing observable
 		// flips, but the cell is now discharged until rewritten.
 		return
 	}
-	d.data[phys] ^= 1 << wc.Bit
+	d.data.xor(phys, 1<<wc.Bit)
 	wc.corrupted = true
 	d.stats.BitFlips++
 	if d.flipLogEnabled {
@@ -383,12 +449,12 @@ func (d *Device) addrOfCell(bg, row, col int) Addr {
 // restores charge to whatever value the cell currently holds, it does not
 // correct errors.
 func (d *Device) Refresh() {
-	for _, idx := range d.dirty {
-		d.disturb[idx] = 0
-		for _, wc := range d.weakByRow[idx] {
+	for _, si := range d.dirty {
+		d.rowStates[si].disturb = 0
+		for _, wc := range d.rowStates[si].cells {
 			wc.held = false
 		}
-		d.recomputeMinThr(idx)
+		d.recomputeMinThr(si)
 	}
 	d.dirty = d.dirty[:0]
 	d.sinceRefresh = 0
@@ -407,7 +473,7 @@ func (d *Device) Read(pa uint64) byte {
 	a := d.mapper.ToDRAM(pa)
 	d.activate(a)
 	d.stats.Reads++
-	v := d.data[pa]
+	v := d.data.load(pa)
 	if d.model.ECC == ECCSecDed {
 		v = d.eccCorrect(pa, v)
 	}
@@ -422,15 +488,18 @@ func (d *Device) Write(pa uint64, v byte) {
 	a := d.mapper.ToDRAM(pa)
 	d.activate(a)
 	d.stats.Writes++
-	d.data[pa] = v
+	d.data.set(pa, v)
 	d.rearm(a)
 }
 
 // rearm clears the discharged state of weak cells in the written byte.
 func (d *Device) rearm(a Addr) {
-	idx := d.rowIndex(d.mapper.BankGroup(a), a.Row)
+	si := d.rowIdx[d.rowIndex(d.mapper.BankGroup(a), a.Row)]
+	if si < 0 {
+		return
+	}
 	changed := false
-	for _, wc := range d.weakByRow[idx] {
+	for _, wc := range d.rowStates[si].cells {
 		if wc.ByteInRow == a.Col {
 			changed = changed || wc.flipped
 			wc.flipped = false
@@ -438,7 +507,7 @@ func (d *Device) rearm(a Addr) {
 		}
 	}
 	if changed {
-		d.recomputeMinThr(idx)
+		d.recomputeMinThr(si)
 	}
 }
 
@@ -448,7 +517,7 @@ func (d *Device) rearm(a Addr) {
 // correction still applies: the code sits on the datapath, not the timing
 // model.
 func (d *Device) ReadNoActivate(pa uint64) byte {
-	v := d.data[pa]
+	v := d.data.load(pa)
 	if d.model.ECC == ECCSecDed {
 		v = d.eccCorrect(pa, v)
 	}
@@ -458,7 +527,7 @@ func (d *Device) ReadNoActivate(pa uint64) byte {
 // WriteNoActivate stores a byte bypassing the activation model, clearing any
 // flip record for the cell (same semantics as Write).
 func (d *Device) WriteNoActivate(pa uint64, v byte) {
-	d.data[pa] = v
+	d.data.set(pa, v)
 	a := d.mapper.ToDRAM(pa)
 	d.rearm(a)
 }
@@ -468,7 +537,7 @@ func (d *Device) WriteNoActivate(pa uint64, v byte) {
 // data and counter semantics as per-byte eccCorrect calls over the range,
 // but at one weak-cell scan per covered row instead of one per byte.
 func (d *Device) ReadRangeNoActivate(pa uint64, out []byte) {
-	copy(out, d.data[pa:pa+uint64(len(out))])
+	d.data.read(pa, out)
 	if d.model.ECC == ECCSecDed && len(out) > 0 {
 		d.eccCorrectRange(pa, out)
 	}
@@ -483,7 +552,7 @@ func (d *Device) eccCorrectRange(pa uint64, out []byte) {
 	var words map[uint64][]*WeakCell // word base pa -> corrupted cells
 	for base := lo &^ (rowBytes - 1); base < hi; base += rowBytes {
 		a := d.mapper.ToDRAM(base)
-		for _, wc := range d.weakByRow[d.rowIndex(d.mapper.BankGroup(a), a.Row)] {
+		for _, wc := range d.cellsAt(d.rowIndex(d.mapper.BankGroup(a), a.Row)) {
 			if !wc.corrupted {
 				continue
 			}
@@ -522,17 +591,16 @@ func (d *Device) eccCorrectRange(pa uint64, out []byte) {
 // activation model, with the same re-arm semantics as per-byte
 // WriteNoActivate but one row scan per covered row instead of one per byte.
 func (d *Device) WriteRangeNoActivate(pa uint64, data []byte) {
-	copy(d.data[pa:pa+uint64(len(data))], data)
+	d.data.write(pa, data)
 	d.rearmRange(pa, pa+uint64(len(data)))
 }
 
 // FillNoActivate stores n copies of v at [pa, pa+n), bypassing the
-// activation model; the kernel's page zeroing uses it.
+// activation model; the kernel's page zeroing uses it.  Zero fills over
+// untouched memory materialise nothing, which is what makes demand-paging
+// a multi-GiB mapping near-free.
 func (d *Device) FillNoActivate(pa, n uint64, v byte) {
-	seg := d.data[pa : pa+n]
-	for i := range seg {
-		seg[i] = v
-	}
+	d.data.fill(pa, n, v)
 	d.rearmRange(pa, pa+n)
 }
 
@@ -545,8 +613,8 @@ func (d *Device) rearmRange(lo, hi uint64) {
 	rowBytes := uint64(d.geom.RowBytes)
 	for base := lo &^ (rowBytes - 1); base < hi; base += rowBytes {
 		a := d.mapper.ToDRAM(base)
-		cells := d.weakByRow[d.rowIndex(d.mapper.BankGroup(a), a.Row)]
-		if len(cells) == 0 {
+		si := d.rowIdx[d.rowIndex(d.mapper.BankGroup(a), a.Row)]
+		if si < 0 {
 			continue
 		}
 		colLo, colHi := 0, int(rowBytes)
@@ -557,7 +625,7 @@ func (d *Device) rearmRange(lo, hi uint64) {
 			colHi = int(hi - base)
 		}
 		changed := false
-		for _, wc := range cells {
+		for _, wc := range d.rowStates[si].cells {
 			if wc.ByteInRow >= colLo && wc.ByteInRow < colHi {
 				changed = changed || wc.flipped
 				wc.flipped = false
@@ -565,7 +633,7 @@ func (d *Device) rearmRange(lo, hi uint64) {
 			}
 		}
 		if changed {
-			d.recomputeMinThr(d.rowIndex(d.mapper.BankGroup(a), a.Row))
+			d.recomputeMinThr(si)
 		}
 	}
 }
@@ -588,10 +656,13 @@ func (d *Device) ActivateAddr(a Addr) {
 // call this, the Rowhammer templating step discovers the same information.
 func (d *Device) WeakCellsInRange(lo, hi uint64) []WeakCell {
 	var out []WeakCell
-	for idx, cells := range d.weakByRow {
+	for idx, si := range d.rowIdx {
+		if si < 0 {
+			continue
+		}
 		bg := idx / d.geom.Rows
 		row := idx % d.geom.Rows
-		for _, wc := range cells {
+		for _, wc := range d.rowStates[si].cells {
 			pa := d.mapper.ToPhys(d.addrOfCell(bg, row, wc.ByteInRow))
 			if pa >= lo && pa < hi {
 				out = append(out, *wc)

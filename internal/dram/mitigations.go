@@ -131,18 +131,20 @@ func (d *Device) trrObserve(bg, row int) {
 // their disturbance accumulators reset, exactly like a targeted refresh.
 func (d *Device) trrRefreshNeighbours(bg, row int) {
 	d.stats.TRRRefreshes++
-	for _, r := range []int{row - 2, row - 1, row + 1, row + 2} {
-		if r < 0 || r >= d.geom.Rows {
+	for dr := -2; dr <= 2; dr++ {
+		r := row + dr
+		if dr == 0 || r < 0 || r >= d.geom.Rows {
 			continue
 		}
-		idx := d.rowIndex(bg, r)
-		if d.disturb[idx] != 0 {
-			d.disturb[idx] = 0
+		si := d.rowIdx[d.rowIndex(bg, r)]
+		if si < 0 {
+			continue
 		}
-		for _, wc := range d.weakByRow[idx] {
+		d.rowStates[si].disturb = 0
+		for _, wc := range d.rowStates[si].cells {
 			wc.held = false
 		}
-		d.recomputeMinThr(idx)
+		d.recomputeMinThr(si)
 	}
 }
 
@@ -156,7 +158,7 @@ func (d *Device) eccCorrect(pa uint64, raw byte) byte {
 	bg := d.mapper.BankGroup(a)
 	idx := d.rowIndex(bg, a.Row)
 	var flips []*WeakCell
-	for _, wc := range d.weakByRow[idx] {
+	for _, wc := range d.cellsAt(idx) {
 		if wc.corrupted && wc.ByteInRow >= a.Col && wc.ByteInRow < a.Col+8 {
 			flips = append(flips, wc)
 		}

@@ -84,7 +84,7 @@ func TestECCCorrectsSingleFlip(t *testing.T) {
 	d, victim, pa := trrDevice(t, TRRConfig{}, ECCSecDed)
 	doubleSided(d, victim, 1200)
 	// The raw array is corrupted...
-	if raw := d.data[pa]; raw != 0xFF&^(1<<3) {
+	if raw := d.data.load(pa); raw != 0xFF&^(1<<3) {
 		t.Fatalf("raw cell not flipped: %#x", raw)
 	}
 	// ...but both read paths return corrected data.

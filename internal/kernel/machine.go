@@ -158,6 +158,11 @@ type Process struct {
 	// Linux 4.0, only users with the CAP_SYS_ADMIN capability can get
 	// PFNs").
 	CapSysAdmin bool
+
+	// hammerAddrs is HammerLoop's translated-address scratch buffer, kept
+	// on the process so repeated hammer bursts (the attack's steady state)
+	// allocate nothing.
+	hammerAddrs []dram.Addr
 }
 
 // Spawn creates a running process pinned to the given CPU.
@@ -343,6 +348,17 @@ func (p *Process) Store(va vm.VirtAddr, v byte) error {
 // matching a cache-line-granular burst rather than per-byte activations.
 func (p *Process) ReadBytes(va vm.VirtAddr, n int) ([]byte, error) {
 	out := make([]byte, n)
+	if err := p.ReadBytesInto(va, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadBytesInto is ReadBytes into a caller-provided buffer, for hot paths
+// (flip probing) that reuse one buffer across many reads and must not
+// allocate per call.
+func (p *Process) ReadBytesInto(va vm.VirtAddr, out []byte) error {
+	n := len(out)
 	for i := 0; i < n; {
 		pageEnd := int(uint64(va.PageBase()) + vm.PageSize - uint64(va))
 		chunk := n - i
@@ -351,14 +367,14 @@ func (p *Process) ReadBytes(va vm.VirtAddr, n int) ([]byte, error) {
 		}
 		pa, err := p.translate(va)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p.m.dev.Read(pa) // one activation per page touch
 		p.m.dev.ReadRangeNoActivate(pa, out[i:i+chunk])
 		i += chunk
 		va += vm.VirtAddr(chunk)
 	}
-	return out, nil
+	return nil
 }
 
 // WriteBytes stores data starting at va, with the same activation
@@ -406,11 +422,16 @@ func (p *Process) Hammer(va vm.VirtAddr) error {
 }
 
 // HammerLoop issues rounds of activations cycling through vas in order —
-// the access-flush-access loop.  Each address is translated once up front;
-// the activation sequence is identical to calling Hammer per address per
-// round, without re-walking the page table and mapper millions of times.
+// the access-flush-access loop.  Each address is translated once up front
+// into a scratch buffer reused across calls; the activation sequence is
+// identical to calling Hammer per address per round, without re-walking the
+// page table and mapper millions of times, and steady-state hammering
+// allocates nothing (the zero-alloc contract BENCH_trajectory.json pins).
 func (p *Process) HammerLoop(vas []vm.VirtAddr, rounds int) error {
-	addrs := make([]dram.Addr, len(vas))
+	if cap(p.hammerAddrs) < len(vas) {
+		p.hammerAddrs = make([]dram.Addr, len(vas))
+	}
+	addrs := p.hammerAddrs[:len(vas)]
 	for i, va := range vas {
 		pa, err := p.translate(va)
 		if err != nil {

@@ -1,0 +1,91 @@
+package machine
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// This file measures the steady-state allocation behaviour of the hammer
+// hot path without importing the testing package, so the same gate runs
+// both as a repo test and inside `benchtab -check-trajectory` in CI.
+//
+// "Steady state" matters: the first hammer bursts legitimately allocate —
+// the translated-address scratch buffer, the device's dirty list growing to
+// its working size, weak cells materialising backing chunks as they flip.
+// The zero-alloc contract is about everything after that: once a process
+// has hammered through a couple of refresh windows, further HammerLoop
+// calls must not allocate at all, or multi-million-activation templating
+// sweeps drown in garbage-collector work.
+
+// steadyStateMeasureActivations is the per-run activation count of the
+// measurement phase — big enough to catch a per-round allocation, small
+// enough to stay inside one refresh window after warm-up.
+const steadyStateMeasureActivations = 4096
+
+// steadyStateRuns is how many measured HammerLoop calls the allocation
+// count is averaged over.
+const steadyStateRuns = 10
+
+// hammerWarmupActivations sizes the warm-up burst for a fault model: two
+// full refresh windows (the dirty list and TRR tracker reach their working
+// sizes, and every window-periodic path has executed), plus enough
+// activations that even the highest-threshold weak cell reachable through
+// the weakest coupling has crossed its threshold and resolved (flipped or
+// held), plus slack for the reliability re-roll of held cells.
+func hammerWarmupActivations(fm faultModelParams) uint64 {
+	maxThr := float64(fm.BaseThreshold) * (1 + fm.ThresholdSpread)
+	w := fm.NeighbourWeight
+	if w <= 0 || w > 1 {
+		w = 1
+	}
+	return 2*fm.RefreshInterval + uint64(maxThr/w) + 100_000
+}
+
+// faultModelParams is the slice of dram.FaultModel the warm-up sizing
+// needs; a local mirror keeps the signature independent of field additions.
+type faultModelParams struct {
+	BaseThreshold   int
+	ThresholdSpread float64
+	NeighbourWeight float64
+	RefreshInterval uint64
+}
+
+// HammerLoopSteadyStateAllocs builds the shared hammer-bench workload on
+// the machine, warms it past every one-time allocation, and returns the
+// average number of heap allocations per steady-state HammerLoop call.
+// The zero-alloc contract pinned by BENCH_trajectory.json is that this is
+// exactly zero for every registered machine.
+//
+// The measurement is meaningless under the race detector, which inserts
+// its own allocations; callers gate on RaceEnabled.
+func HammerLoopSteadyStateAllocs(ms Spec, seed uint64) (float64, error) {
+	proc, vas, err := NewHammerBench(ms, seed)
+	if err != nil {
+		return 0, err
+	}
+	fm := ms.FaultModel
+	warm := hammerWarmupActivations(faultModelParams{
+		BaseThreshold:   fm.BaseThreshold,
+		ThresholdSpread: fm.ThresholdSpread,
+		NeighbourWeight: fm.NeighbourWeight,
+		RefreshInterval: fm.RefreshInterval,
+	})
+	if err := proc.HammerLoop(vas, int(warm)/len(vas)); err != nil {
+		return 0, fmt.Errorf("warm-up hammer: %w", err)
+	}
+
+	rounds := steadyStateMeasureActivations / len(vas)
+	// Serialise with the runtime the way testing.AllocsPerRun does, so a
+	// background sysmon or GC goroutine cannot attribute stray mallocs to
+	// the measured window.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < steadyStateRuns; i++ {
+		if err := proc.HammerLoop(vas, rounds); err != nil {
+			return 0, fmt.Errorf("measured hammer: %w", err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / steadyStateRuns, nil
+}

@@ -1,0 +1,143 @@
+package machine
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleEntries fabricates a full registry-covering entry set with valid
+// timings, for exercising the trajectory shape checks without timing
+// anything.
+func sampleEntries() []BenchEntry {
+	var entries []BenchEntry
+	for _, name := range Names() {
+		ms := MustGet(name)
+		entries = append(entries, BenchEntry{
+			Machine: name, Mapper: ms.MapperName(), MiB: ms.Geometry.TotalBytes() >> 20,
+			HammerNsPerActivation: 50, AttackTrialMs: 1000, KeyRecovered: true,
+		})
+	}
+	return entries
+}
+
+// The checked-in BENCH_trajectory.json must strictly parse, with its latest
+// point covering the registered machine set — the gate behind
+// `benchtab -check-trajectory`.
+func TestCheckedInTrajectoryParses(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_trajectory.json"))
+	if err != nil {
+		t.Fatalf("missing bench trajectory (append with `go run ./cmd/benchtab -bench-machines BENCH_machines.json -append-trajectory BENCH_trajectory.json`): %v", err)
+	}
+	f, err := ParseTrajectoryFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) < 1 {
+		t.Fatal("trajectory has no points")
+	}
+}
+
+// AppendPoint starts a fresh file, appends in order, and the result
+// round-trips through the strict parser.
+func TestAppendPointGrowsFile(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	data, err := AppendPoint(nil, "test/amd64, 4 cpus", sampleEntries(), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseTrajectoryFile(data)
+	if err != nil {
+		t.Fatalf("fresh file does not parse: %v", err)
+	}
+	if len(f.Points) != 1 {
+		t.Fatalf("got %d points, want 1", len(f.Points))
+	}
+	data, err = AppendPoint(data, "test/amd64, 4 cpus", sampleEntries(), t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err = ParseTrajectoryFile(data)
+	if err != nil {
+		t.Fatalf("extended file does not parse: %v", err)
+	}
+	if len(f.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(f.Points))
+	}
+	if f.Points[0].Time != "2026-08-01T12:00:00Z" {
+		t.Errorf("history rewritten: first point now at %s", f.Points[0].Time)
+	}
+}
+
+// Appending is refused when it would reorder or duplicate the tail — the
+// file is append-only in time, not just in position.
+func TestAppendPointRejectsNonMonotonic(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	data, err := AppendPoint(nil, "h", sampleEntries(), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range []time.Time{t0, t0.Add(-time.Hour)} {
+		if _, err := AppendPoint(data, "h", sampleEntries(), ts); err == nil {
+			t.Errorf("append at %v accepted; want monotonicity error", ts)
+		}
+	}
+}
+
+// The shape checks reject: wrong schema, empty files, out-of-order points,
+// bad timestamps, empty entry sets, non-positive timings, and a latest
+// point that misses or duplicates registered machines.
+func TestParseTrajectoryFileRejects(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	good, err := AppendPoint(nil, "h", sampleEntries(), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"bad schema", `{"schema":99,"note":"","points":[]}`, "schema 99"},
+		{"no points", `{"schema":1,"note":"","points":[]}`, "no points"},
+		{"unknown field", `{"schema":1,"bogus":1,"points":[]}`, "bogus"},
+		{"bad timestamp", strings.Replace(string(good), "2026-08-01T12:00:00Z", "yesterday-ish", 1), "bad timestamp"},
+		{"stale machine", strings.Replace(string(good), `"machine": "default"`, `"machine": "retired"`, 1), "not registered"},
+		{"zero timing", strings.Replace(string(good), `"hammer_ns_per_activation": 50`, `"hammer_ns_per_activation": 0`, 1), "non-positive"},
+	}
+	for _, tc := range cases {
+		_, err := ParseTrajectoryFile([]byte(tc.doc))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Older points tolerate machines that have since left the registry —
+	// append-only history outlives registry changes — while the latest
+	// point must cover the current set exactly.
+	entries := sampleEntries()
+	entries[0].Machine = "retired"
+	hist := TrajectoryFile{Schema: TrajectorySchema, Note: trajectoryNote,
+		Points: []TrajectoryPoint{
+			{Time: "2026-07-01T12:00:00Z", Host: "h", Entries: entries},
+			{Time: "2026-08-01T12:00:00Z", Host: "h", Entries: sampleEntries()},
+		}}
+	data, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTrajectoryFile(data); err != nil {
+		t.Errorf("retired machine in a historical point rejected: %v", err)
+	}
+	// The same retired name in the LATEST point is a failure.
+	hist.Points[0], hist.Points[1] = hist.Points[1], hist.Points[0]
+	hist.Points[0].Time, hist.Points[1].Time = hist.Points[1].Time, hist.Points[0].Time
+	data, err = json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTrajectoryFile(data); err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Errorf("retired machine in latest point: error %v, want mention of \"not registered\"", err)
+	}
+}

@@ -118,6 +118,14 @@ type Engine struct {
 	proc *kernel.Process
 	dev  *dram.Device
 	st   Stats
+
+	// Scratch buffers reused across hammer/template/probe calls, so the
+	// steady-state attack loop allocates nothing: fillBuf holds the page
+	// fill pattern, probeBuf the page read back for diffing, hammerVAs the
+	// aggressor set handed to HammerLoop.
+	fillBuf   []byte
+	probeBuf  []byte
+	hammerVAs []vm.VirtAddr
 }
 
 // New builds an engine for the process on the given machine.
@@ -272,9 +280,9 @@ func (e *Engine) selectDecoys(idx map[[2]int]vm.VirtAddr, bg, victimRow int) ([]
 // Many-sided runs interleave the decoy rows into every round, keeping the
 // TRR tracker saturated.
 func (e *Engine) Hammer(agg Aggressors, n int) error {
-	vas := make([]vm.VirtAddr, 0, 2+len(agg.Decoys))
-	vas = append(vas, agg.Upper, agg.Lower)
+	vas := append(e.hammerVAs[:0], agg.Upper, agg.Lower)
 	vas = append(vas, agg.Decoys...)
+	e.hammerVAs = vas
 	if err := e.proc.HammerLoop(vas, n); err != nil {
 		return err
 	}

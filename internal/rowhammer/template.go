@@ -62,8 +62,8 @@ func (e *Engine) Template(base vm.VirtAddr, length uint64, patterns ...Pattern) 
 
 	record := func(va vm.VirtAddr, pattern Pattern, agg Aggressors) error {
 		pageVA := va.PageBase()
-		buf, err := e.proc.ReadBytes(pageVA, vm.PageSize)
-		if err != nil {
+		buf := e.probePage()
+		if err := e.proc.ReadBytesInto(pageVA, buf); err != nil {
 			return err
 		}
 		for i, b := range buf {
@@ -98,6 +98,7 @@ func (e *Engine) Template(base vm.VirtAddr, length uint64, patterns ...Pattern) 
 	}
 
 	for _, pattern := range patterns {
+		fill := e.fillPage(pattern)
 		for _, key := range rowKeys {
 			pages := pagesByRow[key]
 			if e.cfg.MaxFlips > 0 && len(flips) >= e.cfg.MaxFlips {
@@ -133,10 +134,6 @@ func (e *Engine) Template(base vm.VirtAddr, length uint64, patterns ...Pattern) 
 			// Write the pattern into every victim page of the row, then
 			// hammer, then diff.  Rewriting also re-arms previously flipped
 			// cells, so repeated templating is idempotent.
-			fill := make([]byte, vm.PageSize)
-			for i := range fill {
-				fill[i] = byte(pattern)
-			}
 			for _, pva := range pages {
 				if err := e.proc.WriteBytes(pva.PageBase(), fill); err != nil {
 					return flips, err
@@ -192,10 +189,7 @@ func (e *Engine) TemplateUntil(base vm.VirtAddr, length uint64, accept func(Flip
 // original pattern.  This measures the paper's Section VI claim of "a high
 // probability of getting bit flips in the same location".
 func (e *Engine) Reproduce(site FlipSite, pattern Pattern) (bool, error) {
-	fill := make([]byte, vm.PageSize)
-	for i := range fill {
-		fill[i] = byte(pattern)
-	}
+	fill := e.fillPage(pattern)
 	if err := e.proc.WriteBytes(site.PageVA, fill); err != nil {
 		return false, err
 	}
@@ -208,4 +202,26 @@ func (e *Engine) Reproduce(site FlipSite, pattern Pattern) (bool, error) {
 	}
 	want := byte(pattern) ^ (1 << site.Bit)
 	return got == want, nil
+}
+
+// fillPage returns the engine's page-sized fill buffer set to the pattern.
+// One buffer serves every write in a templating sweep (the fill used to be
+// rebuilt per row, one allocation per scanned row).
+func (e *Engine) fillPage(pattern Pattern) []byte {
+	if e.fillBuf == nil {
+		e.fillBuf = make([]byte, vm.PageSize)
+	}
+	for i := range e.fillBuf {
+		e.fillBuf[i] = byte(pattern)
+	}
+	return e.fillBuf
+}
+
+// probePage returns the engine's page-sized read-back buffer.  Contents are
+// overwritten by ReadBytesInto; no clearing needed.
+func (e *Engine) probePage() []byte {
+	if e.probeBuf == nil {
+		e.probeBuf = make([]byte, vm.PageSize)
+	}
+	return e.probeBuf
 }

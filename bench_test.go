@@ -574,3 +574,33 @@ func BenchmarkHammerLoopPerMachine(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEncryptBatchPerCipher times every registered cipher's encrypt
+// core through the scalar path and through the full-width batch (bitsliced)
+// path, over the same deterministic workload benchtab's trajectory rows are
+// measured with (machine.NewCipherCoreBench), so benchmark and snapshot
+// cannot drift.  ns/op divided by lanes is the trajectory's ns/encryption.
+func BenchmarkEncryptBatchPerCipher(b *testing.B) {
+	for _, name := range registry.Names() {
+		c, ok := registry.Get(name)
+		if !ok {
+			b.Fatalf("cipher %q vanished from the registry", name)
+		}
+		inst, table, dst, src, err := machine.NewCipherCoreBench(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/scalar", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				registry.ScalarEncryptBatch(inst, table, dst, src)
+			}
+			b.ReportMetric(float64(len(src)), "encryptions/op")
+		})
+		b.Run(name+"/bitsliced", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				inst.EncryptBatch(table, dst, src)
+			}
+			b.ReportMetric(float64(len(src)), "encryptions/op")
+		})
+	}
+}

@@ -64,20 +64,30 @@ func runBenchMachines(path, trajectoryPath string) int {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d profiles)\n", path, len(f.Entries))
 	if trajectoryPath != "" {
-		return appendTrajectoryPoint(trajectoryPath, f)
+		ciphers, err := machine.MeasureCipherCores()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, e := range ciphers {
+			fmt.Fprintf(os.Stderr, "%-14s %7.1f ns/encryption scalar, %6.1f bitsliced (%d lanes, %.1fx)\n",
+				e.Cipher, e.ScalarNsPerEncryption, e.BitslicedNsPerEncryption, e.Lanes,
+				e.ScalarNsPerEncryption/e.BitslicedNsPerEncryption)
+		}
+		return appendTrajectoryPoint(trajectoryPath, f, ciphers)
 	}
 	return 0
 }
 
 // appendTrajectoryPoint extends (or starts) the append-only trajectory with
-// the entries of a just-completed bench run.
-func appendTrajectoryPoint(path string, f machine.BenchFile) int {
+// the machine entries and cipher-core timings of a just-completed bench run.
+func appendTrajectoryPoint(path string, f machine.BenchFile, ciphers []machine.CipherBenchEntry) int {
 	prev, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	out, err := machine.AppendPoint(prev, f.Host, f.Entries, time.Now())
+	out, err := machine.AppendPoint(prev, f.Host, f.Entries, ciphers, time.Now())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -138,10 +148,13 @@ func runCheckBenchMachines(path string) int {
 }
 
 // runCheckTrajectory is the CI regression gate: the checked-in trajectory
-// must strictly parse (append-only timestamps, registry-exact latest
-// point), and the hammer hot path must still be allocation-free in steady
-// state on every registered machine — the property the trajectory's
-// timings are meaningless without.
+// must strictly parse (append-only timestamps, registry-exact latest point
+// including its cipher-core rows), the latest point's recorded cipher rows
+// must show the bitsliced cores pulling their weight (at least 4x over
+// scalar on AES-128, never slower elsewhere), the same must hold when the
+// cores are re-measured live on this host, and the hammer hot path must
+// still be allocation-free in steady state on every registered machine —
+// the property the trajectory's timings are meaningless without.
 func runCheckTrajectory(path string) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -155,11 +168,19 @@ func runCheckTrajectory(path string) int {
 	}
 	fmt.Fprintf(os.Stderr, "%s: schema %d, %d points (latest %s), ok\n",
 		path, f.Schema, len(f.Points), f.Points[len(f.Points)-1].Time)
+	fail := checkCipherRows(f.Points[len(f.Points)-1].Ciphers, "recorded")
 	if machine.RaceEnabled {
-		fmt.Fprintln(os.Stderr, "race detector active: skipping the zero-alloc gate (instrumentation allocates)")
-		return 0
+		fmt.Fprintln(os.Stderr, "race detector active: skipping the live cipher and zero-alloc gates (instrumentation skews both)")
+		return fail
 	}
-	fail := 0
+	live, err := machine.MeasureCipherCores()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if checkCipherRows(live, "live") != 0 {
+		fail = 1
+	}
 	for _, name := range machine.Names() {
 		allocs, err := machine.HammerLoopSteadyStateAllocs(machine.MustGet(name), 1)
 		if err != nil {
@@ -172,6 +193,29 @@ func runCheckTrajectory(path string) int {
 			fail = 1
 		}
 		fmt.Fprintf(os.Stderr, "%-14s steady-state hammer allocs/run: %.2f %s\n", name, allocs, status)
+	}
+	return fail
+}
+
+// checkCipherRows applies the bitsliced speedup gate to one set of
+// cipher-core timing rows: AES-128's table-heavy scalar path must be beaten
+// at least 4x, and no cipher's batch path may be slower than its scalar
+// path.  label distinguishes the checked-in rows from a live re-measure.
+func checkCipherRows(rows []machine.CipherBenchEntry, label string) int {
+	fail := 0
+	for _, e := range rows {
+		ratio := e.ScalarNsPerEncryption / e.BitslicedNsPerEncryption
+		floor := 1.0
+		if e.Cipher == "aes-128" {
+			floor = 4.0
+		}
+		status := "ok"
+		if ratio < floor {
+			status = "FAIL"
+			fail = 1
+		}
+		fmt.Fprintf(os.Stderr, "%-14s %s bitsliced speedup: %5.1fx (floor %.0fx) %s\n",
+			e.Cipher, label, ratio, floor, status)
 	}
 	return fail
 }

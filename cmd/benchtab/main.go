@@ -13,9 +13,11 @@
 //	benchtab -check-bench-machines BENCH_machines.json  # parse/validate the snapshot (CI smoke)
 //
 //	benchtab -bench-machines BENCH_machines.json -append-trajectory BENCH_trajectory.json
-//	                                                    # ...and append the run to the trajectory
-//	benchtab -check-trajectory BENCH_trajectory.json    # validate the trajectory and the
-//	                                                    # zero-alloc hammer contract (CI gate)
+//	                                                    # ...and append the run (plus per-cipher
+//	                                                    # scalar/bitsliced core timings) to the trajectory
+//	benchtab -check-trajectory BENCH_trajectory.json    # validate the trajectory, the bitsliced
+//	                                                    # speedup floors and the zero-alloc hammer
+//	                                                    # contract (CI gate)
 //
 // With more than one experiment selected, json emits a single JSON array
 // (one element per table) so the output stays parseable as one document;
@@ -48,9 +50,9 @@ func main() {
 	checkBenchMachines := flag.String("check-bench-machines", "",
 		"parse and validate a bench-machines snapshot (shape only, not timings) and exit")
 	appendTrajectory := flag.String("append-trajectory", "",
-		"with -bench-machines: also append the run as one timestamped point to this trajectory file")
+		"with -bench-machines: also append the run, with per-cipher scalar/bitsliced core timings, as one timestamped point to this trajectory file")
 	checkTrajectory := flag.String("check-trajectory", "",
-		"validate a bench trajectory (shape, append-only timestamps, registry coverage) plus the steady-state zero-alloc hammer contract, and exit")
+		"validate a bench trajectory (shape, append-only timestamps, machine and cipher registry coverage) plus the bitsliced speedup floors and the steady-state zero-alloc hammer contract, and exit")
 	flag.Parse()
 
 	if *appendTrajectory != "" && *benchMachines == "" {

@@ -55,6 +55,22 @@ func TestKnownAnswerFIPS197(t *testing.T) {
 		if !bytes.Equal(back, pt) {
 			t.Fatalf("key %s: decrypt got %x want %x", tc.key, back, pt)
 		}
+		// Same vector through the bitsliced core, replicated across a full
+		// 64-lane batch and as a batch of one.
+		for _, n := range []int{1, 64} {
+			src := make([][]byte, n)
+			dst := make([][]byte, n)
+			for i := range src {
+				src[i] = pt
+				dst[i] = make([]byte, 16)
+			}
+			EncryptBlocksBitsliced(ks, &sb, dst, src)
+			for i := range dst {
+				if !bytes.Equal(dst[i], want) {
+					t.Fatalf("key %s bitsliced lane %d/%d: got %x want %x", tc.key, i, n, dst[i], want)
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,291 @@
+// Package bitslice holds the shared machinery of the bitsliced cipher
+// cores: the 64x64 bit-matrix transpose that moves blocks between lane and
+// bit-plane form, an ANF-synthesised 4-bit S-box circuit, and a generic
+// 64-lane engine for the repo's 64-bit substitution-permutation ciphers
+// (PRESENT and the LILLIPUT-style SPN).  The AES core reuses the transpose
+// and the faulted-entry patch idiom but carries its own 128-plane circuit
+// in internal/cipher/aes.
+//
+// Representation: plane p is a uint64 holding bit p of up to 64 independent
+// blocks, with lane b (block b) at bit b of every plane.  Encrypting a
+// batch then costs one pass of the cipher's boolean circuit over the
+// planes, amortising each gate across all lanes.
+//
+// Faulted tables survive bitslicing by patching the canonical S-box
+// circuit: for each table entry e whose stored value differs from the
+// canonical S[e], an equality mask over the *input* planes selects exactly
+// the lanes whose nibble/byte equals e, and (table[e] ^ S[e]) & mask is
+// XORed into the output planes.  A fault-free table produces no patches
+// and costs nothing.
+package bitslice
+
+// Lanes is the batch width of the bitsliced cores: one uint64 bit-plane
+// carries one bit of 64 independent blocks.
+const Lanes = 64
+
+// Transpose64 transposes the 64x64 bit matrix in place, with bit 0 as
+// column 0: after the call, bit j of a[i] is the old bit i of a[j].
+// Loading block b's 64-bit state into a[b] and transposing therefore
+// leaves plane p in a[p] with lane b at bit b — and the transform is an
+// involution, so the same call converts planes back to blocks.
+func Transpose64(a *[64]uint64) {
+	m := uint64(0xFFFFFFFF00000000)
+	for j := uint(32); j != 0; {
+		for k := 0; k < 64; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k] ^ (a[k|int(j)] << j)) & m
+			a[k] ^= t
+			a[k|int(j)] ^= t >> j
+		}
+		j >>= 1
+		m ^= m >> j
+	}
+}
+
+// Sbox4 is a bitsliced 4-bit S-box circuit synthesised from its lookup
+// table via the Moebius transform: each output bit is the XOR of AND
+// monomials over the four input planes, with the monomial set read off the
+// algebraic normal form.  Synthesising from the table at construction time
+// makes the circuit correct for any 4-bit S-box by derivation, not by
+// transcription.
+type Sbox4 struct {
+	// anf[o] has bit u set when monomial u (the AND of the input planes
+	// selected by u's bits) contributes to output bit o.
+	anf [4]uint16
+}
+
+// NewSbox4 derives the circuit for the given table; entries are masked to
+// their low 4 bits, matching the scalar nibble ciphers' datapath.
+func NewSbox4(table *[16]byte) Sbox4 {
+	var s Sbox4
+	for o := 0; o < 4; o++ {
+		var f uint16
+		for x := 0; x < 16; x++ {
+			f |= uint16((table[x]>>uint(o))&1) << uint(x)
+		}
+		// Moebius transform: bit u of f becomes the coefficient of
+		// monomial u.
+		f ^= (f & 0x5555) << 1
+		f ^= (f & 0x3333) << 2
+		f ^= (f & 0x0F0F) << 4
+		f ^= (f & 0x00FF) << 8
+		s.anf[o] = f
+	}
+	return s
+}
+
+// Apply substitutes the four input planes through the circuit in place:
+// q[i] holds the plane of input bit i on entry and of output bit i on
+// return.
+func (s Sbox4) Apply(q *[4]uint64) {
+	// All 16 monomial planes, built with 11 ANDs by extending each subset
+	// one variable at a time.
+	var m [16]uint64
+	m[0] = ^uint64(0)
+	m[1] = q[0]
+	m[2] = q[1]
+	m[3] = q[0] & q[1]
+	m[4] = q[2]
+	m[5] = q[0] & q[2]
+	m[6] = q[1] & q[2]
+	m[7] = m[3] & q[2]
+	m[8] = q[3]
+	m[9] = q[0] & q[3]
+	m[10] = q[1] & q[3]
+	m[11] = m[3] & q[3]
+	m[12] = q[2] & q[3]
+	m[13] = m[5] & q[3]
+	m[14] = m[6] & q[3]
+	m[15] = m[7] & q[3]
+	var out [4]uint64
+	for o := 0; o < 4; o++ {
+		a := s.anf[o]
+		var v uint64
+		for u := 0; a != 0; u++ {
+			if a&1 != 0 {
+				v ^= m[u]
+			}
+			a >>= 1
+		}
+		out[o] = v
+	}
+	*q = out
+}
+
+// Patch4 is one faulted 4-bit table entry: lanes whose S-box input equals
+// In get Delta XORed into their substituted output.
+type Patch4 struct {
+	// In is the faulted table index (0..15).
+	In byte
+	// Delta is (table[In] ^ canonical[In]) masked to the 4-bit datapath.
+	Delta byte
+}
+
+// DiffTable4 lists the entries where table deviates from the canonical
+// S-box on the 4-bit datapath.  Corruption confined to stored bits above
+// the low nibble yields no patch, exactly as it is invisible to the scalar
+// path's &0xF.
+func DiffTable4(table []byte, canon *[16]byte) []Patch4 {
+	var ps []Patch4
+	for e := 0; e < 16; e++ {
+		if d := (table[e] ^ canon[e]) & 0xF; d != 0 {
+			ps = append(ps, Patch4{In: byte(e), Delta: d})
+		}
+	}
+	return ps
+}
+
+// SPN64 is the shared bitsliced engine for 64-bit SPNs of the
+// PRESENT/LILLIPUT shape: Rounds iterations of AddRoundKey, a 16-nibble
+// S-box layer and a bit permutation, closed by a whitening key.  The
+// engine is built once per cipher (the circuit and permutation are
+// key-independent); every batch call takes the round keys and the possibly
+// corrupted table.
+type SPN64 struct {
+	// Rounds is the number of substitution-permutation rounds; Rounds+1
+	// round keys are consumed.
+	Rounds int
+	// Perm is the bit permutation: output bit Perm[i] takes input bit i.
+	Perm [64]byte
+	// Canon is the canonical S-box, entries masked to 4 bits.
+	Canon [16]byte
+	// Circuit is the bitsliced canonical S-box.
+	Circuit Sbox4
+}
+
+// NewSPN64 builds the engine for a cipher with the given round count,
+// canonical S-box and bit permutation (bit i moves to perm(i)).
+func NewSPN64(rounds int, sbox [16]byte, perm func(int) int) *SPN64 {
+	e := &SPN64{Rounds: rounds}
+	for i := range sbox {
+		e.Canon[i] = sbox[i] & 0xF
+	}
+	e.Circuit = NewSbox4(&e.Canon)
+	for i := 0; i < 64; i++ {
+		e.Perm[i] = byte(perm(i))
+	}
+	return e
+}
+
+// EncryptBatch enciphers len(src) <= Lanes independent blocks (big-endian
+// 8-byte each) with the given round keys (rk[r-1] is round r's key,
+// rk[Rounds] the whitening key) and table, writing ciphertext i to dst[i].
+// It is bit-for-bit equivalent to the cipher's scalar path on every lane,
+// faulted tables included.
+func (e *SPN64) EncryptBatch(rk []uint64, table []byte, dst, src [][]byte) {
+	e.encrypt(rk, table, dst, src, 0, nil)
+}
+
+// EncryptWithFaultBatch enciphers like EncryptBatch but XORs masks[i] (a
+// big-endian 8-byte transient-fault delta) into lane i's state at the
+// entry of the 1-based round, matching the scalar EncryptWithFault
+// semantics lane for lane.
+func (e *SPN64) EncryptWithFaultBatch(rk []uint64, table []byte, dst, src [][]byte, round int, masks [][]byte) {
+	if round < 1 || round > e.Rounds {
+		panic("bitslice: fault round out of range")
+	}
+	e.encrypt(rk, table, dst, src, round, masks)
+}
+
+// encrypt is the common batch body; faultRound 0 means no transient fault.
+func (e *SPN64) encrypt(rk []uint64, table []byte, dst, src [][]byte, faultRound int, masks [][]byte) {
+	n := len(src)
+	if n > Lanes {
+		panic("bitslice: batch wider than 64 lanes")
+	}
+	if len(dst) != n {
+		panic("bitslice: batch dst/src length mismatch")
+	}
+	var st [64]uint64
+	for b := 0; b < n; b++ {
+		st[b] = beU64(src[b])
+	}
+	Transpose64(&st)
+
+	var fd [64]uint64
+	if faultRound != 0 {
+		if len(masks) != n {
+			panic("bitslice: batch masks length mismatch")
+		}
+		for b := 0; b < n; b++ {
+			fd[b] = beU64(masks[b])
+		}
+		Transpose64(&fd)
+	}
+
+	patches := DiffTable4(table, &e.Canon)
+	for r := 1; r <= e.Rounds; r++ {
+		if r == faultRound {
+			for p := 0; p < 64; p++ {
+				st[p] ^= fd[p]
+			}
+		}
+		key := rk[r-1]
+		for p := 0; p < 64; p++ {
+			st[p] ^= -(key >> uint(p) & 1)
+		}
+		e.sboxLayer(&st, patches)
+		var out [64]uint64
+		for p := 0; p < 64; p++ {
+			out[e.Perm[p]] = st[p]
+		}
+		st = out
+	}
+	key := rk[e.Rounds]
+	for p := 0; p < 64; p++ {
+		st[p] ^= -(key >> uint(p) & 1)
+	}
+
+	Transpose64(&st)
+	for b := 0; b < n; b++ {
+		putBEU64(dst[b], st[b])
+	}
+}
+
+// sboxLayer substitutes all 16 nibble groups through the patched circuit.
+func (e *SPN64) sboxLayer(st *[64]uint64, patches []Patch4) {
+	for nib := 0; nib < 16; nib++ {
+		q := (*[4]uint64)(st[4*nib : 4*nib+4])
+		if len(patches) == 0 {
+			e.Circuit.Apply(q)
+			continue
+		}
+		in := *q
+		e.Circuit.Apply(q)
+		for _, p := range patches {
+			eq := ^uint64(0)
+			for i := 0; i < 4; i++ {
+				// XNOR with the broadcast of bit i of the faulted index:
+				// keeps only lanes whose input nibble equals p.In.
+				eq &= in[i] ^ ^(-(uint64(p.In) >> uint(i) & 1))
+			}
+			for o := 0; o < 4; o++ {
+				if p.Delta>>uint(o)&1 != 0 {
+					q[o] ^= eq
+				}
+			}
+		}
+	}
+}
+
+// beU64 reads a big-endian 8-byte block, the 64-bit ciphers' wire form.
+func beU64(b []byte) uint64 {
+	if len(b) < 8 {
+		panic("bitslice: short block")
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// putBEU64 writes a big-endian 8-byte block.
+func putBEU64(b []byte, v uint64) {
+	if len(b) < 8 {
+		panic("bitslice: short block")
+	}
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}

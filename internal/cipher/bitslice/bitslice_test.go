@@ -1,0 +1,97 @@
+package bitslice
+
+import (
+	"testing"
+
+	"explframe/internal/stats"
+)
+
+// naiveTranspose is the obviously correct reference: bit j of out[i] is
+// bit i of in[j].
+func naiveTranspose(in *[64]uint64) [64]uint64 {
+	var out [64]uint64
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			out[i] |= (in[j] >> uint(i) & 1) << uint(j)
+		}
+	}
+	return out
+}
+
+func TestTranspose64MatchesNaive(t *testing.T) {
+	rng := stats.NewRNG(0x7157a)
+	for trial := 0; trial < 50; trial++ {
+		var a [64]uint64
+		for i := range a {
+			a[i] = rng.Uint64()
+		}
+		want := naiveTranspose(&a)
+		got := a
+		Transpose64(&got)
+		if got != want {
+			t.Fatalf("trial %d: transpose mismatch", trial)
+		}
+		// Involution: transposing twice restores the input.
+		Transpose64(&got)
+		if got != a {
+			t.Fatalf("trial %d: transpose is not an involution", trial)
+		}
+	}
+}
+
+func TestSbox4MatchesTableLookup(t *testing.T) {
+	rng := stats.NewRNG(0x5b0c4)
+	for trial := 0; trial < 100; trial++ {
+		var table [16]byte
+		for i := range table {
+			table[i] = byte(rng.Intn(256)) // entries may carry junk above bit 3
+		}
+		circ := NewSbox4(&table)
+
+		// One lane per possible input value plus 48 random lanes.
+		var lanes [64]byte
+		for b := 0; b < 16; b++ {
+			lanes[b] = byte(b)
+		}
+		for b := 16; b < 64; b++ {
+			lanes[b] = byte(rng.Intn(16))
+		}
+		var q [4]uint64
+		for b, x := range lanes {
+			for i := 0; i < 4; i++ {
+				q[i] |= uint64(x>>uint(i)&1) << uint(b)
+			}
+		}
+		circ.Apply(&q)
+		for b, x := range lanes {
+			var got byte
+			for i := 0; i < 4; i++ {
+				got |= byte(q[i]>>uint(b)&1) << uint(i)
+			}
+			if want := table[x] & 0xF; got != want {
+				t.Fatalf("trial %d lane %d: S[%#x] = %#x, want %#x", trial, b, x, got, want)
+			}
+		}
+	}
+}
+
+func TestDiffTable4(t *testing.T) {
+	canon := [16]byte{0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2}
+	table := make([]byte, 16)
+	copy(table, canon[:])
+	if ps := DiffTable4(table, &canon); len(ps) != 0 {
+		t.Fatalf("clean table produced %d patches", len(ps))
+	}
+	// A flip above the 4-bit datapath is invisible.
+	table[3] ^= 0x10
+	if ps := DiffTable4(table, &canon); len(ps) != 0 {
+		t.Fatalf("datapath-invisible flip produced %d patches", len(ps))
+	}
+	// Two real faults.
+	table[3] ^= 0x01
+	table[9] ^= 0x0C
+	ps := DiffTable4(table, &canon)
+	if len(ps) != 2 || ps[0] != (Patch4{In: 3, Delta: 0x01}) || ps[1] != (Patch4{In: 9, Delta: 0x0C}) {
+		t.Fatalf("patches = %+v", ps)
+	}
+}

@@ -1,0 +1,30 @@
+package present
+
+import "explframe/internal/cipher/bitslice"
+
+// engine is the bitsliced 64-lane core, wired once to PRESENT's S-box and
+// pLayer; the circuit and permutation are key-independent, so the engine
+// is shared by every Schedule.
+var engine = bitslice.NewSPN64(Rounds, sbox, func(i int) int {
+	if i == 63 {
+		return 63
+	}
+	return i * 16 % 63
+})
+
+// EncryptBlocksBitsliced enciphers up to bitslice.Lanes blocks in parallel,
+// one bit-plane per uint64, bit-for-bit equivalent to EncryptBlock on every
+// lane — faulted tables included, via S-box-circuit patching.
+func EncryptBlocksBitsliced(ks *Schedule, sb *[16]byte, dst, src [][]byte) {
+	engine.EncryptBatch(ks.rk[:], sb[:], dst, src)
+}
+
+// EncryptBlocksWithFaultBitsliced enciphers like EncryptBlocksBitsliced but
+// XORs masks[i] (big-endian, as in EncryptWithFault's delta) into lane i's
+// state at the entry of the given 1-based round.
+func EncryptBlocksWithFaultBitsliced(ks *Schedule, sb *[16]byte, dst, src [][]byte, round int, masks [][]byte) {
+	if round < 1 || round > Rounds {
+		panic("present: fault round out of range")
+	}
+	engine.EncryptWithFaultBatch(ks.rk[:], sb[:], dst, src, round, masks)
+}

@@ -36,6 +36,23 @@ func TestKnownAnswer80(t *testing.T) {
 		if got := Decrypt(ks, &isb, tc.ct); got != tc.pt {
 			t.Fatalf("key %s ct %016x: decrypt got %016x want %016x", tc.key, tc.ct, got, tc.pt)
 		}
+		// Same vector through the bitsliced core, replicated across a full
+		// 64-lane batch and as a batch of one.
+		for _, n := range []int{1, 64} {
+			src := make([][]byte, n)
+			dst := make([][]byte, n)
+			for i := range src {
+				src[i] = make([]byte, BlockSize)
+				putU64(src[i], tc.pt)
+				dst[i] = make([]byte, BlockSize)
+			}
+			EncryptBlocksBitsliced(ks, &sb, dst, src)
+			for i := range dst {
+				if got := getU64(dst[i]); got != tc.ct {
+					t.Fatalf("key %s bitsliced lane %d/%d: got %016x want %016x", tc.key, i, n, got, tc.ct)
+				}
+			}
+		}
 	}
 }
 

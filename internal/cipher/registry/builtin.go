@@ -4,6 +4,7 @@ import (
 	"bytes"
 
 	"explframe/internal/cipher/aes"
+	"explframe/internal/cipher/bitslice"
 	"explframe/internal/cipher/lilliput"
 	"explframe/internal/cipher/present"
 )
@@ -109,6 +110,43 @@ func (in *aesInstance) EncryptWithFault(table, dst, src []byte, round int, mask 
 	aes.EncryptBlockWithFault(in.ks, &sb, dst, src, round, &m)
 }
 
+func (in *aesInstance) EncryptBatch(table []byte, dst, src [][]byte) {
+	if len(dst) != len(src) {
+		panic("registry: batch dst/src length mismatch")
+	}
+	var sb [256]byte
+	copy(sb[:], table)
+	n := 0
+	if !ScalarOnly() {
+		for ; n+bitslice.Lanes <= len(src); n += bitslice.Lanes {
+			aes.EncryptBlocksBitsliced(in.ks, &sb, dst[n:n+bitslice.Lanes], src[n:n+bitslice.Lanes])
+		}
+	}
+	for ; n < len(src); n++ {
+		aes.EncryptBlock(in.ks, &sb, dst[n], src[n])
+	}
+}
+
+func (in *aesInstance) EncryptWithFaultBatch(table []byte, dst, src [][]byte, round int, masks [][]byte) {
+	if len(dst) != len(src) || len(masks) != len(src) {
+		panic("registry: batch dst/src/masks length mismatch")
+	}
+	var sb [256]byte
+	copy(sb[:], table)
+	n := 0
+	if !ScalarOnly() {
+		for ; n+bitslice.Lanes <= len(src); n += bitslice.Lanes {
+			aes.EncryptBlocksWithFaultBitsliced(in.ks, &sb,
+				dst[n:n+bitslice.Lanes], src[n:n+bitslice.Lanes], round, masks[n:n+bitslice.Lanes])
+		}
+	}
+	var m [16]byte
+	for ; n < len(src); n++ {
+		copy(m[:], masks[n])
+		aes.EncryptBlockWithFault(in.ks, &sb, dst[n], src[n], round, &m)
+	}
+}
+
 // --- PRESENT-80 ----------------------------------------------------------
 
 type present80 struct{}
@@ -179,6 +217,41 @@ func (in *presentInstance) EncryptWithFault(table, dst, src []byte, round int, m
 	putU64(dst, present.EncryptWithFault(in.ks, &sb, getU64(src), round, getU64(mask)))
 }
 
+func (in *presentInstance) EncryptBatch(table []byte, dst, src [][]byte) {
+	if len(dst) != len(src) {
+		panic("registry: batch dst/src length mismatch")
+	}
+	var sb [16]byte
+	copy(sb[:], table)
+	n := 0
+	if !ScalarOnly() {
+		for ; n+bitslice.Lanes <= len(src); n += bitslice.Lanes {
+			present.EncryptBlocksBitsliced(in.ks, &sb, dst[n:n+bitslice.Lanes], src[n:n+bitslice.Lanes])
+		}
+	}
+	for ; n < len(src); n++ {
+		present.EncryptBlock(in.ks, &sb, dst[n], src[n])
+	}
+}
+
+func (in *presentInstance) EncryptWithFaultBatch(table []byte, dst, src [][]byte, round int, masks [][]byte) {
+	if len(dst) != len(src) || len(masks) != len(src) {
+		panic("registry: batch dst/src/masks length mismatch")
+	}
+	var sb [16]byte
+	copy(sb[:], table)
+	n := 0
+	if !ScalarOnly() {
+		for ; n+bitslice.Lanes <= len(src); n += bitslice.Lanes {
+			present.EncryptBlocksWithFaultBitsliced(in.ks, &sb,
+				dst[n:n+bitslice.Lanes], src[n:n+bitslice.Lanes], round, masks[n:n+bitslice.Lanes])
+		}
+	}
+	for ; n < len(src); n++ {
+		putU64(dst[n], present.EncryptWithFault(in.ks, &sb, getU64(src[n]), round, getU64(masks[n])))
+	}
+}
+
 // --- LILLIPUT-style 80-bit SPN -------------------------------------------
 
 type lilliput80 struct{}
@@ -245,4 +318,39 @@ func (in *lilliputInstance) EncryptWithFault(table, dst, src []byte, round int, 
 	var sb [16]byte
 	copy(sb[:], table)
 	putU64(dst, lilliput.EncryptWithFault(in.ks, &sb, getU64(src), round, getU64(mask)))
+}
+
+func (in *lilliputInstance) EncryptBatch(table []byte, dst, src [][]byte) {
+	if len(dst) != len(src) {
+		panic("registry: batch dst/src length mismatch")
+	}
+	var sb [16]byte
+	copy(sb[:], table)
+	n := 0
+	if !ScalarOnly() {
+		for ; n+bitslice.Lanes <= len(src); n += bitslice.Lanes {
+			lilliput.EncryptBlocksBitsliced(in.ks, &sb, dst[n:n+bitslice.Lanes], src[n:n+bitslice.Lanes])
+		}
+	}
+	for ; n < len(src); n++ {
+		lilliput.EncryptBlock(in.ks, &sb, dst[n], src[n])
+	}
+}
+
+func (in *lilliputInstance) EncryptWithFaultBatch(table []byte, dst, src [][]byte, round int, masks [][]byte) {
+	if len(dst) != len(src) || len(masks) != len(src) {
+		panic("registry: batch dst/src/masks length mismatch")
+	}
+	var sb [16]byte
+	copy(sb[:], table)
+	n := 0
+	if !ScalarOnly() {
+		for ; n+bitslice.Lanes <= len(src); n += bitslice.Lanes {
+			lilliput.EncryptBlocksWithFaultBitsliced(in.ks, &sb,
+				dst[n:n+bitslice.Lanes], src[n:n+bitslice.Lanes], round, masks[n:n+bitslice.Lanes])
+		}
+	}
+	for ; n < len(src); n++ {
+		putU64(dst[n], lilliput.EncryptWithFault(in.ks, &sb, getU64(src[n]), round, getU64(masks[n])))
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Cipher describes one registered victim block cipher.
@@ -86,6 +87,63 @@ type Instance interface {
 	// the persistent table fault the Encrypt table argument models.  It
 	// panics if round is outside [1, Rounds].
 	EncryptWithFault(table, dst, src []byte, round int, mask []byte)
+	// EncryptBatch enciphers len(src) independent blocks with the same
+	// table, writing ciphertext i to dst[i] (len(dst) must equal
+	// len(src); every block must be at least BlockSize bytes).  The
+	// contract is strict per-lane equivalence with Encrypt — faulted
+	// tables included — so consumers may batch freely; the built-in
+	// ciphers route full BatchLanes-wide chunks through a bitsliced core
+	// and the remainder through the scalar path, and ScalarEncryptBatch
+	// is the all-scalar fallback for ciphers without one.
+	EncryptBatch(table []byte, dst, src [][]byte)
+	// EncryptWithFaultBatch enciphers like EncryptBatch but XORs
+	// masks[i] (BlockSize bytes) into block i's state at the entry of
+	// the 1-based round, lane-for-lane equivalent to EncryptWithFault.
+	// It panics if round is outside [1, Rounds].
+	EncryptWithFaultBatch(table []byte, dst, src [][]byte, round int, masks [][]byte)
+}
+
+// BatchLanes is the lane width of the built-in bitsliced cores: batches
+// are processed in chunks of this many blocks, with any remainder taking
+// the scalar path.  Consumers sizing their batches as multiples of
+// BatchLanes get the full speedup; any other size is merely slower, never
+// wrong.
+const BatchLanes = 64
+
+// scalarOnly, when set, routes every EncryptBatch/EncryptWithFaultBatch
+// call of the built-in ciphers through the scalar per-block path.
+var scalarOnly atomic.Bool
+
+// SetScalarOnly forces (true) or re-enables (false) the bitsliced batch
+// cores globally, returning the previous setting.  The batch API's
+// equivalence contract makes the switch unobservable except in speed; it
+// exists so the golden-invariance tests can diff experiment tables with
+// the cores on and off.
+func SetScalarOnly(v bool) bool { return scalarOnly.Swap(v) }
+
+// ScalarOnly reports whether the bitsliced batch cores are disabled.
+func ScalarOnly() bool { return scalarOnly.Load() }
+
+// ScalarEncryptBatch implements Instance.EncryptBatch by looping the
+// scalar Encrypt — the fallback for Instances without a bitsliced core.
+func ScalarEncryptBatch(in Instance, table []byte, dst, src [][]byte) {
+	if len(dst) != len(src) {
+		panic("registry: batch dst/src length mismatch")
+	}
+	for i := range src {
+		in.Encrypt(table, dst[i], src[i])
+	}
+}
+
+// ScalarEncryptWithFaultBatch implements Instance.EncryptWithFaultBatch by
+// looping the scalar EncryptWithFault.
+func ScalarEncryptWithFaultBatch(in Instance, table []byte, dst, src [][]byte, round int, masks [][]byte) {
+	if len(dst) != len(src) || len(masks) != len(src) {
+		panic("registry: batch dst/src/masks length mismatch")
+	}
+	for i := range src {
+		in.EncryptWithFault(table, dst[i], src[i], round, masks[i])
+	}
 }
 
 // Cells returns the number of PFA cell positions per block: one per S-box

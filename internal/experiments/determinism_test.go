@@ -13,9 +13,12 @@ import (
 // that makes the golden tables under testdata/golden machine-independent).
 // The experiments chosen here cover the trial kinds the harness drives:
 // allocator self-reuse (E2), steering sweeps (E14), crypto-only PFA trials
-// (E10) and the registry-wide PFA campaign (E15).  Worker counts are
-// per-call options, so this test mutates no process state and cannot
-// perturb (or be perturbed by) tests running in parallel.
+// (E10) and the registry-wide PFA campaign (E15).  The PFA trials batch
+// their faulty encryptions through the bitsliced cores in 64-lane chunks,
+// so this also pins the batched trial execution to one canonical stream
+// regardless of how trials land on workers.  Worker counts are per-call
+// options, so this test mutates no process state and cannot perturb (or be
+// perturbed by) tests running in parallel.
 func TestTablesWorkerCountInvariant(t *testing.T) {
 	runners := map[string]func(uint64, ...harness.Option) (*Table, error){
 		"E2":  E2SelfReuse,
@@ -50,7 +53,8 @@ func TestTablesWorkerCountInvariant(t *testing.T) {
 // The heavyweight campaign-backed experiments must also be worker-invariant:
 // E6 runs full attack pipelines through the scenario campaign layer, E16
 // does the same across every registered machine profile, and E17 drives the
-// DFA fault-model ladder over every registered analyzer.  E16's and E17's
+// DFA fault-model ladder over every registered analyzer (its trials collect
+// a whole pair budget in one batched dfa.CollectPairs call).  E16's and E17's
 // trial streams key on the machine/cipher/model *names* (via Spec hashes),
 // so the invariance also holds against registry growth: a newly registered
 // machine, analyzer or ladder rung adds rows without re-randomizing the

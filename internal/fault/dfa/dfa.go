@@ -179,6 +179,51 @@ func CollectPair(c registry.Cipher, inst registry.Instance, table, pt []byte, m 
 	return p, nil
 }
 
+// CollectPairs produces n correct/faulty pairs under the fault model,
+// batching all encryptions through the Instance batch API (bitsliced for
+// full 64-lane chunks of the built-in ciphers).  Each pair's randomness is
+// drawn exactly as n sequential rng.Bytes-plaintext + CollectPair calls
+// would draw it — plaintext first, then the model's unpinned choices —
+// which is the order the golden tables pin; only the encryptions move to
+// the end, and they consume no randomness.
+func CollectPairs(c registry.Cipher, inst registry.Instance, table []byte, n int, m fault.Model, rng *stats.RNG) ([]Pair, error) {
+	round := m.Round
+	if round == 0 {
+		a, ok := Get(c.Name())
+		if !ok {
+			return nil, fmt.Errorf("dfa: model %s pins no round and cipher %q has no registered analyzer", m.Name(), c.Name())
+		}
+		round = a.DefaultRound()
+	}
+	bs := c.BlockSize()
+	pairs := make([]Pair, n)
+	pts := make([][]byte, n)
+	correct := make([][]byte, n)
+	faulty := make([][]byte, n)
+	masks := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		pt := make([]byte, bs)
+		rng.Bytes(pt)
+		inj, err := m.Draw(rng, bs, round)
+		if err != nil {
+			return nil, err
+		}
+		pairs[i] = Pair{
+			Plaintext: pt,
+			Correct:   make([]byte, bs),
+			Faulty:    make([]byte, bs),
+			Position:  inj.Position,
+		}
+		pts[i] = pt
+		correct[i] = pairs[i].Correct
+		faulty[i] = pairs[i].Faulty
+		masks[i] = inj.Mask
+	}
+	inst.EncryptBatch(table, correct, pts)
+	inst.EncryptWithFaultBatch(table, faulty, pts, round, masks)
+	return pairs, nil
+}
+
 // spaceBits folds per-group candidate counts into the surviving key-space
 // size in bits.
 func spaceBits(remaining []float64) float64 {

@@ -63,6 +63,18 @@ func (c *Collector) Observe(ct []byte) error {
 	return nil
 }
 
+// ObserveBatch records a batch of ciphertext blocks in order — the
+// counterpart of the registry's EncryptBatch for consumers that batch
+// their faulty encryptions through the bitsliced cores.
+func (c *Collector) ObserveBatch(cts [][]byte) error {
+	for _, ct := range cts {
+		if err := c.Observe(ct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // N returns the number of observed ciphertexts.
 func (c *Collector) N() uint64 { return c.n }
 

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"explframe/internal/cipher/registry"
 )
 
 // TrajectorySchema is the current BENCH_trajectory.json schema version.
@@ -22,6 +24,11 @@ type TrajectoryPoint struct {
 	// Entries holds one sample per machine profile registered at the time
 	// the point was taken, in the same shape as BENCH_machines.json.
 	Entries []BenchEntry `json:"entries"`
+	// Ciphers holds one cipher-core timing sample per cipher registered at
+	// the time the point was taken (scalar vs bitsliced ns/encryption).
+	// Points predating the bitsliced cores omit the field; the latest point
+	// must carry it and cover the cipher registry exactly.
+	Ciphers []CipherBenchEntry `json:"ciphers,omitempty"`
 }
 
 // TrajectoryFile is the append-only performance history: where
@@ -43,12 +50,35 @@ const trajectoryNote = "append-only; extend with: go run ./cmd/benchtab -bench-m
 // ParseTrajectoryFile strictly decodes and shape-checks a trajectory
 // document: known schema, at least one point, strictly increasing RFC 3339
 // timestamps, and non-empty entries with positive timings throughout.  The
-// LATEST point must cover exactly the currently registered machine set —
-// that is the regression gate `benchtab -check-trajectory` runs in CI.
-// Older points are historical: they may name machines that have since been
-// renamed or removed (append-only files outlive the registry), so only
-// their internal shape is checked.
+// LATEST point must cover exactly the currently registered machine set AND
+// the currently registered cipher set (its cipher-core timing rows) — that
+// is the regression gate `benchtab -check-trajectory` runs in CI.  Older
+// points are historical: they may name machines that have since been
+// renamed or removed, or predate the cipher rows entirely (append-only
+// files outlive the registry), so only their internal shape is checked.
 func ParseTrajectoryFile(data []byte) (TrajectoryFile, error) {
+	f, err := parseTrajectoryHistory(data)
+	if err != nil {
+		return TrajectoryFile{}, err
+	}
+	var errs []error
+	last := f.Points[len(f.Points)-1]
+	if err := checkCoversRegistry(last); err != nil {
+		errs = append(errs, err)
+	}
+	if err := checkCoversCipherRegistry(last); err != nil {
+		errs = append(errs, err)
+	}
+	if err := errors.Join(errs...); err != nil {
+		return TrajectoryFile{}, fmt.Errorf("machine: trajectory file invalid: latest point: %w", err)
+	}
+	return f, nil
+}
+
+// parseTrajectoryHistory decodes and shape-checks everything except the
+// latest-point registry coverage — the parse AppendPoint needs, since the
+// point it is about to add becomes the latest.
+func parseTrajectoryHistory(data []byte) (TrajectoryFile, error) {
 	var f TrajectoryFile
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
@@ -86,10 +116,17 @@ func ParseTrajectoryFile(data []byte) (TrajectoryFile, error) {
 					i, j, e.Machine, e.HammerNsPerActivation, e.AttackTrialMs))
 			}
 		}
-	}
-	if len(f.Points) > 0 {
-		if err := checkCoversRegistry(f.Points[len(f.Points)-1]); err != nil {
-			errs = append(errs, fmt.Errorf("latest point: %w", err))
+		for j, e := range p.Ciphers {
+			if e.Cipher == "" {
+				errs = append(errs, fmt.Errorf("point %d cipher row %d: empty cipher name", i, j))
+			}
+			if e.ScalarNsPerEncryption <= 0 || e.BitslicedNsPerEncryption <= 0 {
+				errs = append(errs, fmt.Errorf("point %d cipher row %d (%s): non-positive timings (%g scalar ns, %g bitsliced ns)",
+					i, j, e.Cipher, e.ScalarNsPerEncryption, e.BitslicedNsPerEncryption))
+			}
+			if e.Lanes <= 0 {
+				errs = append(errs, fmt.Errorf("point %d cipher row %d (%s): non-positive lane count %d", i, j, e.Cipher, e.Lanes))
+			}
 		}
 	}
 	if err := errors.Join(errs...); err != nil {
@@ -120,15 +157,39 @@ func checkCoversRegistry(p TrajectoryPoint) error {
 	return errors.Join(errs...)
 }
 
+// checkCoversCipherRegistry verifies a point's cipher rows sample exactly
+// the registered cipher set — no stale names, no missing ciphers, no
+// duplicates.  Only the latest point is held to this (older points predate
+// the cipher rows or a registry change).
+func checkCoversCipherRegistry(p TrajectoryPoint) error {
+	var errs []error
+	sampled := make(map[string]bool, len(p.Ciphers))
+	for _, e := range p.Ciphers {
+		if sampled[e.Cipher] {
+			errs = append(errs, fmt.Errorf("cipher %q sampled twice", e.Cipher))
+		}
+		sampled[e.Cipher] = true
+		if _, ok := registry.Get(e.Cipher); !ok {
+			errs = append(errs, fmt.Errorf("cipher %q is not registered", e.Cipher))
+		}
+	}
+	for _, name := range registry.Names() {
+		if !sampled[name] {
+			errs = append(errs, fmt.Errorf("registered cipher %q has no sample", name))
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // AppendPoint extends the trajectory in data (or starts a fresh file when
-// data is empty) with one point carrying the given bench entries, stamped
-// now.  The existing history is never rewritten: points only grow at the
-// tail, and a timestamp at or before the last point is rejected rather
-// than reordered.
-func AppendPoint(data []byte, host string, entries []BenchEntry, now time.Time) ([]byte, error) {
+// data is empty) with one point carrying the given machine bench entries
+// and cipher-core timing rows, stamped now.  The existing history is never
+// rewritten: points only grow at the tail, and a timestamp at or before the
+// last point is rejected rather than reordered.
+func AppendPoint(data []byte, host string, entries []BenchEntry, ciphers []CipherBenchEntry, now time.Time) ([]byte, error) {
 	f := TrajectoryFile{Schema: TrajectorySchema, Note: trajectoryNote}
 	if len(data) > 0 {
-		parsed, err := ParseTrajectoryFile(data)
+		parsed, err := parseTrajectoryHistory(data)
 		if err != nil {
 			return nil, err
 		}
@@ -137,8 +198,11 @@ func AppendPoint(data []byte, host string, entries []BenchEntry, now time.Time) 
 	if len(entries) == 0 {
 		return nil, errors.New("machine: refusing to append a point with no entries")
 	}
-	p := TrajectoryPoint{Time: now.UTC().Format(time.RFC3339), Host: host, Entries: entries}
+	p := TrajectoryPoint{Time: now.UTC().Format(time.RFC3339), Host: host, Entries: entries, Ciphers: ciphers}
 	if err := checkCoversRegistry(p); err != nil {
+		return nil, fmt.Errorf("machine: new trajectory point: %w", err)
+	}
+	if err := checkCoversCipherRegistry(p); err != nil {
 		return nil, fmt.Errorf("machine: new trajectory point: %w", err)
 	}
 	if n := len(f.Points); n > 0 {

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"explframe/internal/cipher/registry"
 )
 
 // sampleEntries fabricates a full registry-covering entry set with valid
@@ -22,6 +24,18 @@ func sampleEntries() []BenchEntry {
 		})
 	}
 	return entries
+}
+
+// sampleCiphers fabricates a registry-covering cipher-core row set with
+// valid timings, matching sampleEntries in spirit.
+func sampleCiphers() []CipherBenchEntry {
+	var rows []CipherBenchEntry
+	for _, name := range registry.Names() {
+		rows = append(rows, CipherBenchEntry{
+			Cipher: name, ScalarNsPerEncryption: 500, BitslicedNsPerEncryption: 50, Lanes: 64,
+		})
+	}
+	return rows
 }
 
 // The checked-in BENCH_trajectory.json must strictly parse, with its latest
@@ -45,7 +59,7 @@ func TestCheckedInTrajectoryParses(t *testing.T) {
 // round-trips through the strict parser.
 func TestAppendPointGrowsFile(t *testing.T) {
 	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
-	data, err := AppendPoint(nil, "test/amd64, 4 cpus", sampleEntries(), t0)
+	data, err := AppendPoint(nil, "test/amd64, 4 cpus", sampleEntries(), sampleCiphers(), t0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +70,7 @@ func TestAppendPointGrowsFile(t *testing.T) {
 	if len(f.Points) != 1 {
 		t.Fatalf("got %d points, want 1", len(f.Points))
 	}
-	data, err = AppendPoint(data, "test/amd64, 4 cpus", sampleEntries(), t0.Add(time.Hour))
+	data, err = AppendPoint(data, "test/amd64, 4 cpus", sampleEntries(), sampleCiphers(), t0.Add(time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,12 +90,12 @@ func TestAppendPointGrowsFile(t *testing.T) {
 // file is append-only in time, not just in position.
 func TestAppendPointRejectsNonMonotonic(t *testing.T) {
 	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
-	data, err := AppendPoint(nil, "h", sampleEntries(), t0)
+	data, err := AppendPoint(nil, "h", sampleEntries(), sampleCiphers(), t0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, ts := range []time.Time{t0, t0.Add(-time.Hour)} {
-		if _, err := AppendPoint(data, "h", sampleEntries(), ts); err == nil {
+		if _, err := AppendPoint(data, "h", sampleEntries(), sampleCiphers(), ts); err == nil {
 			t.Errorf("append at %v accepted; want monotonicity error", ts)
 		}
 	}
@@ -92,7 +106,7 @@ func TestAppendPointRejectsNonMonotonic(t *testing.T) {
 // point that misses or duplicates registered machines.
 func TestParseTrajectoryFileRejects(t *testing.T) {
 	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
-	good, err := AppendPoint(nil, "h", sampleEntries(), t0)
+	good, err := AppendPoint(nil, "h", sampleEntries(), sampleCiphers(), t0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,6 +119,9 @@ func TestParseTrajectoryFileRejects(t *testing.T) {
 		{"bad timestamp", strings.Replace(string(good), "2026-08-01T12:00:00Z", "yesterday-ish", 1), "bad timestamp"},
 		{"stale machine", strings.Replace(string(good), `"machine": "default"`, `"machine": "retired"`, 1), "not registered"},
 		{"zero timing", strings.Replace(string(good), `"hammer_ns_per_activation": 50`, `"hammer_ns_per_activation": 0`, 1), "non-positive"},
+		{"stale cipher", strings.Replace(string(good), `"cipher": "aes-128"`, `"cipher": "rc4"`, 1), "not registered"},
+		{"zero cipher timing", strings.Replace(string(good), `"bitsliced_ns_per_encryption": 50`, `"bitsliced_ns_per_encryption": 0`, 1), "non-positive"},
+		{"zero lanes", strings.Replace(string(good), `"lanes": 64`, `"lanes": 0`, 1), "non-positive lane count"},
 	}
 	for _, tc := range cases {
 		_, err := ParseTrajectoryFile([]byte(tc.doc))
@@ -113,15 +130,16 @@ func TestParseTrajectoryFileRejects(t *testing.T) {
 		}
 	}
 
-	// Older points tolerate machines that have since left the registry —
-	// append-only history outlives registry changes — while the latest
-	// point must cover the current set exactly.
+	// Older points tolerate machines that have since left the registry and
+	// may predate the cipher-core rows entirely — append-only history
+	// outlives registry changes — while the latest point must cover both
+	// current registries exactly.
 	entries := sampleEntries()
 	entries[0].Machine = "retired"
 	hist := TrajectoryFile{Schema: TrajectorySchema, Note: trajectoryNote,
 		Points: []TrajectoryPoint{
 			{Time: "2026-07-01T12:00:00Z", Host: "h", Entries: entries},
-			{Time: "2026-08-01T12:00:00Z", Host: "h", Entries: sampleEntries()},
+			{Time: "2026-08-01T12:00:00Z", Host: "h", Entries: sampleEntries(), Ciphers: sampleCiphers()},
 		}}
 	data, err := json.MarshalIndent(hist, "", "  ")
 	if err != nil {
@@ -139,5 +157,20 @@ func TestParseTrajectoryFileRejects(t *testing.T) {
 	}
 	if _, err := ParseTrajectoryFile(data); err == nil || !strings.Contains(err.Error(), "not registered") {
 		t.Errorf("retired machine in latest point: error %v, want mention of \"not registered\"", err)
+	}
+
+	// A latest point with no cipher rows at all is equally a failure — the
+	// bitsliced speedup gate has nothing to check without them.
+	hist = TrajectoryFile{Schema: TrajectorySchema, Note: trajectoryNote,
+		Points: []TrajectoryPoint{
+			{Time: "2026-07-01T12:00:00Z", Host: "h", Entries: sampleEntries(), Ciphers: sampleCiphers()},
+			{Time: "2026-08-01T12:00:00Z", Host: "h", Entries: sampleEntries()},
+		}}
+	data, err = json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTrajectoryFile(data); err == nil || !strings.Contains(err.Error(), "has no sample") {
+		t.Errorf("latest point without cipher rows: error %v, want mention of \"has no sample\"", err)
 	}
 }

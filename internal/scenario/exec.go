@@ -150,7 +150,12 @@ func (s Spec) pfaBudget(c registry.Cipher) int {
 // runPFATrial executes one PFA-kind trial: random key, one random
 // single-bit S-box fault, known-fault recovery via the cipher-agnostic
 // collector, master-key completion verified against the true key.  The
-// draw order is pinned by the E15 golden table.
+// draw order is pinned by the E15 golden table: faulty encryptions run in
+// registry.BatchLanes-wide batches (bitsliced for the built-in ciphers)
+// with the chunk's plaintexts pre-drawn in the old per-block order, and
+// recovery is still checked after every single observation so RecoveredAt
+// stays exact.  Plaintexts drawn past the recovery point are discarded
+// with the trial's private rng, which no later draw reads.
 func runPFATrial(c registry.Cipher, budget int, rng *stats.RNG) (PFATrial, error) {
 	out := PFATrial{RecoveredAt: -1}
 	key := make([]byte, c.KeyBytes())
@@ -171,20 +176,35 @@ func runPFATrial(c registry.Cipher, budget int, rng *stats.RNG) (PFATrial, error
 	faulty[v] ^= byte(1 << uint(rng.Intn(c.EntryBits())))
 
 	col := pfa.NewCollector(c)
-	pt := make([]byte, c.BlockSize())
-	ct := make([]byte, c.BlockSize())
-	for n := 1; n <= budget; n++ {
-		rng.Bytes(pt)
-		inst.Encrypt(faulty, ct, pt)
-		if err := col.Observe(ct); err != nil {
-			return out, err
+	bs := c.BlockSize()
+	buf := make([]byte, 2*registry.BatchLanes*bs)
+	pts := make([][]byte, registry.BatchLanes)
+	cts := make([][]byte, registry.BatchLanes)
+	for i := range pts {
+		pts[i] = buf[i*bs : (i+1)*bs]
+		cts[i] = buf[(registry.BatchLanes+i)*bs : (registry.BatchLanes+i+1)*bs]
+	}
+	for n := 0; n < budget; {
+		k := registry.BatchLanes
+		if rem := budget - n; rem < k {
+			k = rem
 		}
-		if _, err := col.RecoverLastRoundKeyKnownFault(yStar); err == nil {
-			out.RecoveredAt = n
-			master, err := col.RecoverMasterKnownFault(yStar, cleanPT, cleanCT)
-			out.MasterOK = err == nil && bytes.Equal(master, key)
-			break
+		for i := 0; i < k; i++ {
+			rng.Bytes(pts[i])
 		}
+		inst.EncryptBatch(faulty, cts[:k], pts[:k])
+		for i := 0; i < k; i++ {
+			if err := col.Observe(cts[i]); err != nil {
+				return out, err
+			}
+			if _, err := col.RecoverLastRoundKeyKnownFault(yStar); err == nil {
+				out.RecoveredAt = n + i + 1
+				master, err := col.RecoverMasterKnownFault(yStar, cleanPT, cleanCT)
+				out.MasterOK = err == nil && bytes.Equal(master, key)
+				return out, nil
+			}
+		}
+		n += k
 	}
 	return out, nil
 }
@@ -212,9 +232,12 @@ func (s Spec) dfaBudget() int {
 	return 16
 }
 
-// runDFATrial executes one DFA-kind trial: random key, correct/faulty pairs
-// collected one at a time under the fault model, re-analysed after each pair
-// until the analyzer pins a unique key or the budget runs out.  Master-key
+// runDFATrial executes one DFA-kind trial: random key, a full budget of
+// correct/faulty pairs collected through the batched dfa.CollectPairs
+// (same per-pair draw order as the old one-at-a-time loop, so the E17
+// golden holds), then re-analysed pair by pair until the analyzer pins a
+// unique key or the budget runs out.  Pairs collected past the recovery
+// point are discarded with the trial's private rng.  Master-key
 // completion is verified against the true key.
 func runDFATrial(c registry.Cipher, a dfa.Analyzer, m fault.Model, budget int, rng *stats.RNG) (DFATrial, error) {
 	out := DFATrial{RecoveredAt: -1}
@@ -225,16 +248,12 @@ func runDFATrial(c registry.Cipher, a dfa.Analyzer, m fault.Model, budget int, r
 		return out, err
 	}
 	table := c.SBox()
-	pt := make([]byte, c.BlockSize())
-	pairs := make([]dfa.Pair, 0, budget)
+	pairs, err := dfa.CollectPairs(c, inst, table, budget, m, rng)
+	if err != nil {
+		return out, err
+	}
 	for n := 1; n <= budget; n++ {
-		rng.Bytes(pt)
-		p, err := dfa.CollectPair(c, inst, table, pt, m, rng)
-		if err != nil {
-			return out, err
-		}
-		pairs = append(pairs, p)
-		res, err := a.Analyze(pairs, m)
+		res, err := a.Analyze(pairs[:n], m)
 		if err != nil {
 			return out, err
 		}

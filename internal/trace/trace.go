@@ -104,6 +104,33 @@ func (v *Victim) Encrypt(pt []byte) ([]byte, error) {
 	return ct, nil
 }
 
+// EncryptBatch encrypts len(pts) blocks through the instance's batch path
+// (bitsliced in full 64-lane chunks for the built-in ciphers) and returns
+// the ciphertexts in order.  The table is read from victim memory once per
+// batch: reads are side-effect-free and the planted faults are persistent,
+// so a batch sees exactly the table every per-block Encrypt in its place
+// would have seen.
+func (v *Victim) EncryptBatch(pts [][]byte) ([][]byte, error) {
+	bs := v.Cipher.BlockSize()
+	for _, pt := range pts {
+		if len(pt) != bs {
+			return nil, fmt.Errorf("trace: %s plaintext must be %d bytes, got %d",
+				v.Cipher.Name(), bs, len(pt))
+		}
+	}
+	table, err := v.loadTable()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, len(pts)*bs)
+	cts := make([][]byte, len(pts))
+	for i := range cts {
+		cts[i] = buf[i*bs : (i+1)*bs]
+	}
+	v.inst.EncryptBatch(table, cts, pts)
+	return cts, nil
+}
+
 // TableCorrupted reports whether the in-memory table deviates from the
 // canonical one, and at which byte index.
 func (v *Victim) TableCorrupted() (bool, int, error) {

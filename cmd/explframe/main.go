@@ -4,6 +4,8 @@
 //
 //	explframe run [flags]        run one scenario and print its report
 //	explframe sweep [flags]      run a scenario or campaign sweep, render a table
+//	explframe submit [flags]     post a scenario/campaign to an explframed server
+//	explframe watch [flags] <id> stream a submitted campaign's per-trial results
 //	explframe list [-machines]   list scenario presets, machine profiles, ciphers
 //	explframe describe <what>    print a preset's, spec file's or machine's JSON
 //	explframe describe machine <name>  print one machine profile's JSON
@@ -35,6 +37,10 @@ func main() {
 			os.Exit(cmdRun(args[1:]))
 		case "sweep":
 			os.Exit(cmdSweep(args[1:]))
+		case "submit":
+			os.Exit(cmdSubmit(args[1:]))
+		case "watch":
+			os.Exit(cmdWatch(args[1:]))
 		case "list":
 			os.Exit(cmdList(args[1:]))
 		case "describe":
@@ -57,6 +63,10 @@ Subcommands:
             attack fails to recover the key)
   sweep     run a scenario or campaign over many trials, render the success
             table in any report format
+  submit    post a scenario or campaign to a running explframed server and
+            print its campaign id (same -scenario sources and overrides)
+  watch     stream a submitted campaign's per-trial results as JSON lines
+            until it finishes (-report also prints the persisted table)
   list      list scenario presets, machine profiles and registered ciphers
             (-machines restricts to the machine catalogue)
   describe  print the canonical JSON, name and hash of a preset, spec file

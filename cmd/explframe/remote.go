@@ -1,0 +1,115 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+
+	"explframe/internal/report"
+	"explframe/internal/scenario"
+	"explframe/internal/service"
+)
+
+// cmdSubmit posts a scenario or campaign to a running explframed server.
+// It shares the full scenario flag surface with run/sweep (-scenario
+// preset/file plus field overrides), prints the campaign id — the handle
+// watch and the HTTP API use — to stdout, and exits immediately; the
+// server keeps executing.  Submission is idempotent: resubmitting an
+// already-known campaign reports its current status instead of
+// restarting it.
+func cmdSubmit(args []string) int {
+	f := newFlags("submit")
+	addr := f.fs.String("addr", "http://127.0.0.1:8750", "explframed base URL")
+	if code, ok := f.parse(args); !ok {
+		return code
+	}
+	camp, err := f.campaign()
+	if err != nil {
+		return fail(err)
+	}
+	return runSubmit(*addr, camp, os.Stdout)
+}
+
+// runSubmit is the testable body of cmdSubmit.
+func runSubmit(addr string, camp scenario.Campaign, w io.Writer) int {
+	c := &service.Client{Base: addr}
+	st, err := c.Submit(context.Background(), camp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "campaign %s (%q): %d spec(s), %d trials, status %s\n",
+		st.ID, st.Name, st.Specs, st.TotalTrials, st.Status)
+	fmt.Fprintln(w, st.ID)
+	return 0
+}
+
+// cmdWatch follows a submitted campaign's stream, writing one JSON line
+// per completed trial to stdout (journaled history first, then live
+// results) and ending with the terminal status line.  With -report it
+// then fetches the persisted campaign table — validated through
+// report.FromJSON — and prints it.  Exit codes: 0 campaign done, 1
+// campaign failed or cancelled (or the stream broke), 2 usage error.
+func cmdWatch(args []string) int {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8750", "explframed base URL")
+	withReport := fs.Bool("report", false, "after completion, print the persisted campaign table JSON")
+	switch err := fs.Parse(args); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	default:
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: explframe watch [-addr URL] [-report] <campaign-id>")
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	return runWatch(ctx, *addr, fs.Arg(0), *withReport, os.Stdout)
+}
+
+// runWatch is the testable body of cmdWatch.
+func runWatch(ctx context.Context, addr, id string, withReport bool, w io.Writer) int {
+	c := &service.Client{Base: addr}
+	enc := json.NewEncoder(w)
+	final, err := c.Stream(ctx, id, func(l service.StreamLine) error {
+		return enc.Encode(l)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := enc.Encode(final); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if final.Status != "done" {
+		fmt.Fprintf(os.Stderr, "campaign %s ended %s", id, final.Status)
+		if final.Error != "" {
+			fmt.Fprintf(os.Stderr, ": %s", final.Error)
+		}
+		fmt.Fprintln(os.Stderr)
+		return 1
+	}
+	if withReport {
+		t, err := c.Report(ctx, id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		data, err := report.JSON(t)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(w, "%s\n", data)
+	}
+	return 0
+}

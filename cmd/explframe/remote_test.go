@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"explframe/internal/report"
+	"explframe/internal/scenario"
+	"explframe/internal/service"
+)
+
+// startService boots an in-process explframed for the client subcommands.
+func startService(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	srv, err := service.New(service.Config{
+		Journal:      filepath.Join(dir, "journal.jsonl"),
+		Store:        filepath.Join(dir, "store"),
+		TrialWorkers: 2,
+		Log:          log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Shutdown()
+	})
+	return hs.URL
+}
+
+// submit prints the campaign id to stdout; watch streams one line per
+// trial plus the terminal line and, with -report, the validated table.
+func TestSubmitAndWatch(t *testing.T) {
+	addr := startService(t)
+	camp := scenario.Campaign{Name: "remote-fixture", Specs: []scenario.Spec{
+		scenario.New(scenario.WithKind(scenario.PFA), scenario.WithCipher("present-80"),
+			scenario.WithTrials(3), scenario.WithSeed(11)),
+	}}
+
+	var submitOut bytes.Buffer
+	if code := runSubmit(addr, camp, &submitOut); code != 0 {
+		t.Fatalf("submit exit %d", code)
+	}
+	id := strings.TrimSpace(submitOut.String())
+	if id != service.CampaignID(camp) {
+		t.Fatalf("printed id %q", id)
+	}
+
+	var watchOut bytes.Buffer
+	if code := runWatch(context.Background(), addr, id, true, &watchOut); code != 0 {
+		t.Fatalf("watch exit %d", code)
+	}
+	var lines []string
+	sc := bufio.NewScanner(&watchOut)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	// 3 trial lines + terminal line + the report (one indented JSON blob).
+	if len(lines) < 4 {
+		t.Fatalf("watch printed %d lines", len(lines))
+	}
+	for i := 0; i < 3; i++ {
+		var l service.StreamLine
+		if err := json.Unmarshal([]byte(lines[i]), &l); err != nil || l.Outcome == nil {
+			t.Fatalf("trial line %d: %q (%v)", i, lines[i], err)
+		}
+	}
+	var terminal service.StreamLine
+	if err := json.Unmarshal([]byte(lines[3]), &terminal); err != nil || terminal.Status != "done" {
+		t.Fatalf("terminal line: %q (%v)", lines[3], err)
+	}
+	reportJSON := strings.Join(lines[4:], "\n")
+	if _, err := report.FromJSON([]byte(reportJSON)); err != nil {
+		t.Fatalf("-report output is not a valid table: %v", err)
+	}
+
+	// watch on an unknown id fails with exit 1, not a hang.
+	if code := runWatch(context.Background(), addr, "c-nope", false, &bytes.Buffer{}); code != 1 {
+		t.Fatalf("watch of unknown id exited %d", code)
+	}
+}

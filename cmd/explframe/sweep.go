@@ -50,15 +50,17 @@ func cmdSweep(args []string) int {
 	results, err := camp.Run(ctx,
 		scenario.WithTrialOptions(harness.WithWorkers(f.parallel)),
 		scenario.WithProgress(func(e scenario.Event) {
+			// Events are self-identifying: the spec's canonical hash names
+			// the same scenario in journals, streams and checkpoints.
 			if e.Done {
 				status := "done"
 				if e.Err != nil {
 					status = fmt.Sprintf("failed: %v", e.Err)
 				}
-				fmt.Fprintf(os.Stderr, "[%d/%d] %s %s\n", e.Index+1, e.Total, e.Spec.Title(), status)
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s #%016x %s\n", e.Index+1, e.Total, e.Spec.Title(), e.SpecHash, status)
 				return
 			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s: %d trials...\n", e.Index+1, e.Total, e.Spec.Title(), e.Spec.Trials)
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s #%016x: %d trials...\n", e.Index+1, e.Total, e.Spec.Title(), e.SpecHash, e.Spec.Trials)
 		}))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep error: %v\n", err)
@@ -70,7 +72,7 @@ func cmdSweep(args []string) int {
 	if singleAttack {
 		t = attackSweepTable(results[0])
 	} else {
-		t = campaignTable(camp.Name, results)
+		t = scenario.CampaignTable(camp.Name, results)
 	}
 	// Wall time and worker count go to stderr, not the table: rendered
 	// sweep output must be byte-identical at any -parallel.
@@ -124,49 +126,6 @@ func attackSweepTable(res *scenario.Result) *report.Table {
 	}
 	if st.Ciphertexts.N() > 0 {
 		t.Notes = append(t.Notes, fmt.Sprintf("ciphertexts to recovery: %s", st.Ciphertexts.String()))
-	}
-	return t
-}
-
-// campaignTable renders one row per scenario with the kind-appropriate
-// headline success metric.
-func campaignTable(name string, results []*scenario.Result) *report.Table {
-	t := &report.Table{
-		ID:    "campaign",
-		Title: fmt.Sprintf("campaign %s: headline success per scenario", name),
-		Claim: "declarative scenario grid executed through internal/scenario",
-		Columns: []report.Column{
-			{Name: "scenario"}, {Name: "kind"}, {Name: "trials"},
-			{Name: "success", Unit: "fraction"}, {Name: "detail"},
-		},
-	}
-	for _, res := range results {
-		if res == nil {
-			continue
-		}
-		spec := res.Spec
-		var rate float64
-		var detail string
-		switch spec.Kind {
-		case scenario.Attack:
-			st := res.AttackStats()
-			rate = st.Key.Rate()
-			detail = fmt.Sprintf("site %.2f steer %.2f fault %.2f", st.Site.Rate(), st.Steer.Rate(), st.Fault.Rate())
-		case scenario.Steering:
-			st := res.SteeringStats()
-			rate = st.FirstPage.Rate()
-			detail = fmt.Sprintf("planted reused mean %.2f", st.PlantedReused.Mean())
-		case scenario.Baseline:
-			st := res.BaselineStats()
-			rate = st.Corrupted.Rate()
-			detail = fmt.Sprintf("neighbours owned %d/%d", st.NeighboursOwned, st.Corrupted.Trials)
-		case scenario.PFA:
-			st := res.PFAStats()
-			rate = st.MasterOK.Rate()
-			detail = fmt.Sprintf("last-round recovered %.2f", st.Recovered.Rate())
-		}
-		t.AddRow(report.Str(spec.Title()), report.Str(string(spec.Kind)),
-			report.Int(spec.Trials), report.Float(rate, 3), report.Str(detail))
 	}
 	return t
 }

@@ -40,8 +40,9 @@ func Workers() int {
 type Option func(*runOpts)
 
 type runOpts struct {
-	workers int
-	ctx     context.Context
+	workers   int
+	ctx       context.Context
+	trialDone func(trial int)
 }
 
 // WithWorkers sets the pool size for this call only.  n <= 0 keeps the
@@ -65,6 +66,15 @@ func WithContext(ctx context.Context) Option {
 			o.ctx = ctx
 		}
 	}
+}
+
+// WithTrialDone registers fn, invoked once per trial immediately after the
+// trial returns (success or failure) with the results slice already holding
+// its outcome.  Calls are serialized — never concurrent — but arrive in
+// completion order, not trial order, when the pool is parallel.  This is
+// the per-trial progress surface the campaign service checkpoints ride on.
+func WithTrialDone(fn func(trial int)) Option {
+	return func(o *runOpts) { o.trialDone = fn }
 }
 
 // TrialError wraps a failure of one trial with its index.
@@ -112,12 +122,18 @@ func RunTrials[T any](seed uint64, n int, fn TrialFunc[T], opts ...Option) ([]T,
 	results := make([]T, n)
 	errs := make([]error, n)
 
+	var doneMu sync.Mutex
 	run := func(i int) {
 		if o.ctx.Err() != nil {
 			errs[i] = o.ctx.Err()
 			return
 		}
 		results[i], errs[i] = fn(i, stats.NewStream(seed, uint64(i)))
+		if o.trialDone != nil {
+			doneMu.Lock()
+			o.trialDone(i)
+			doneMu.Unlock()
+		}
 	}
 
 	if workers == 1 {

@@ -211,3 +211,39 @@ func TestRunTrialsRaceStress(t *testing.T) {
 		}
 	}
 }
+
+// WithTrialDone must fire exactly once per trial with calls serialized
+// (never concurrent), after the trial's result slot is written, on success
+// and failure alike.
+func TestWithTrialDone(t *testing.T) {
+	const n = 60
+	boom := errors.New("boom")
+	var inCallback atomic.Int64
+	seen := make(map[int]int)
+	res, err := RunTrials(4, n, func(trial int, _ *stats.RNG) (int, error) {
+		if trial%5 == 0 {
+			return 0, fmt.Errorf("t%d: %w", trial, boom)
+		}
+		return trial * 2, nil
+	}, WithWorkers(8), WithTrialDone(func(trial int) {
+		if inCallback.Add(1) != 1 {
+			t.Error("trial-done callbacks ran concurrently")
+		}
+		seen[trial]++ // map write is safe only because calls are serialized
+		inCallback.Add(-1)
+	}))
+	if !errors.Is(err, boom) {
+		t.Fatalf("expected aggregated failure, got %v", err)
+	}
+	if len(seen) != n {
+		t.Fatalf("callback covered %d trials, want %d", len(seen), n)
+	}
+	for trial, count := range seen {
+		if count != 1 {
+			t.Fatalf("trial %d fired %d callbacks", trial, count)
+		}
+		if trial%5 != 0 && res[trial] != trial*2 {
+			t.Fatalf("trial %d callback fired before its result landed", trial)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// storeTable builds a small valid table for store round-trips.
+func storeTable(id string) *Table {
+	t := &Table{
+		ID:    id,
+		Title: "store round-trip",
+		Claim: "persisted tables reload bit-exactly",
+		Columns: []Column{
+			{Name: "scenario"}, {Name: "rate", Unit: "fraction"},
+		},
+	}
+	t.AddRow(Str("pfa:present-80"), Float(0.875, 3))
+	t.AddRow(Str("dfa:klein-64"), Float(1.0/3.0, 3))
+	return t
+}
+
+// Save/Load must round-trip through FromJSON validation, and LoadBytes must
+// return exactly what a fresh Save of an equal table would produce — the
+// byte-identity surface the service resume tests compare.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := storeTable("c-1")
+	if err := s.Save("c-1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("c-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("loaded table diverged:\n got %+v\nwant %+v", got, want)
+	}
+	raw, err := s.LoadBytes("c-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := JSON(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, append(wantJSON, '\n')) {
+		t.Fatal("stored bytes are not the canonical JSON rendering")
+	}
+
+	// Save is a replace: a second save under the same id wins atomically.
+	repl := storeTable("c-1")
+	repl.Title = "replaced"
+	if err := s.Save("c-1", repl); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Load("c-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "replaced" {
+		t.Fatalf("replacement lost: %q", got.Title)
+	}
+}
+
+// List returns stored ids sorted, skipping temp droppings and non-JSON files.
+func TestStoreList(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"zeta", "alpha", "mid"} {
+		if err := s.Save(id, storeTable(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), ".hidden.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"alpha", "mid", "zeta"}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("List() = %v, want %v", ids, want)
+	}
+}
+
+// Ids that would escape the store directory are rejected on every surface,
+// and corrupt stored files fail Load's validation loudly.
+func TestStoreRejectsBadInput(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", ".", "..", "a/b", `a\b`} {
+		if err := s.Save(id, storeTable("x")); err == nil {
+			t.Fatalf("Save accepted id %q", id)
+		}
+		if _, err := s.Load(id); err == nil {
+			t.Fatalf("Load accepted id %q", id)
+		}
+	}
+	if _, err := NewStore(""); err == nil {
+		t.Fatal("NewStore accepted an empty directory")
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), "bad.json"), []byte(`{"id":""}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("bad"); err == nil {
+		t.Fatal("Load accepted a table FromJSON rejects")
+	}
+	if _, err := s.Load("absent"); err == nil {
+		t.Fatal("Load of a missing id succeeded")
+	}
+}

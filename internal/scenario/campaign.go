@@ -76,17 +76,30 @@ func (c *Campaign) Dedup() Campaign {
 }
 
 // Event reports campaign progress: one event when a spec starts (Result
-// nil, Done false) and one when it finishes (Done true, Result or Err set).
+// nil, Done false), one when it finishes (Done true, Result or Err set),
+// and — with WithTrialEvents — one per completed trial in between (Trial
+// >= 0, Outcome set).  SpecHash and Trial make every event self-identifying:
+// a consumer can attribute it to exactly one (spec, trial) without holding
+// the campaign, which is what the service journal keys checkpoints on.
 type Event struct {
 	// Index and Total locate the spec within the campaign.
 	Index, Total int
 	// Spec is the scenario the event concerns.
 	Spec Spec
+	// SpecHash is Spec.Hash(), the canonical identity the checkpoint
+	// journal and stream consumers key on.
+	SpecHash uint64
+	// Trial is the completed trial's index for trial-level events, -1 for
+	// spec-level start and finish events.
+	Trial int
+	// Outcome is the completed trial's result (trial-level events only).
+	Outcome *TrialOutcome
 	// Result is the outcome (finish events of successful specs only).
 	Result *Result
 	// Err is the failure (finish events of failed specs only).
 	Err error
-	// Done distinguishes finish events from start events.
+	// Done distinguishes finish events from start events.  Trial-level
+	// events always carry Done true (the trial is complete).
 	Done bool
 }
 
@@ -97,6 +110,8 @@ type campaignOpts struct {
 	progress    func(Event)
 	specWorkers int
 	trialOpts   []harness.Option
+	trialEvents bool
+	checkpoint  Checkpoint
 }
 
 // WithProgress registers a progress callback.  Events are delivered
@@ -130,6 +145,24 @@ func WithTrialOptions(opts ...harness.Option) CampaignOption {
 	return func(o *campaignOpts) { o.trialOpts = append(o.trialOpts, opts...) }
 }
 
+// WithTrialEvents emits one additional progress event per computed trial
+// (Trial >= 0, Outcome set) between each spec's start and finish events —
+// the per-trial stream the campaign service journals and serves.  Trials
+// merged from a checkpoint are not re-emitted, so a journal fed by these
+// events records each trial exactly once across interrupted runs.
+func WithTrialEvents() CampaignOption {
+	return func(o *campaignOpts) { o.trialEvents = true }
+}
+
+// WithCheckpoint resumes the campaign from previously completed trials,
+// keyed by spec hash then trial index.  Checkpointed trials are merged
+// into the results without recomputing; because trial k only ever draws
+// from its private stream, the folded results — and the tables rendered
+// from them — are byte-identical to an uninterrupted run.
+func WithCheckpoint(cp Checkpoint) CampaignOption {
+	return func(o *campaignOpts) { o.checkpoint = cp }
+}
+
 // Run validates the campaign and fans its specs out through the harness,
 // honouring ctx mid-campaign: once cancelled, no further spec starts,
 // running specs abort between phases, and the error carries ctx.Err().
@@ -159,9 +192,16 @@ func (c *Campaign) Run(ctx context.Context, opts ...CampaignOption) ([]*Result, 
 	// per-spec rng stream is unused because each spec carries its own seed.
 	results, err := harness.RunTrials(0, len(c.Specs), func(i int, _ *stats.RNG) (*Result, error) {
 		spec := c.Specs[i]
-		emit(Event{Index: i, Total: len(c.Specs), Spec: spec})
-		res, err := Run(ctx, spec, o.trialOpts...)
-		emit(Event{Index: i, Total: len(c.Specs), Spec: spec, Result: res, Err: err, Done: true})
+		hash := spec.Hash()
+		emit(Event{Index: i, Total: len(c.Specs), Spec: spec, SpecHash: hash, Trial: -1})
+		var onTrial func(int, TrialOutcome)
+		if o.trialEvents {
+			onTrial = func(t int, out TrialOutcome) {
+				emit(Event{Index: i, Total: len(c.Specs), Spec: spec, SpecHash: hash, Trial: t, Outcome: &out, Done: true})
+			}
+		}
+		res, err := RunResumable(ctx, spec, o.checkpoint[hash], onTrial, o.trialOpts...)
+		emit(Event{Index: i, Total: len(c.Specs), Spec: spec, SpecHash: hash, Trial: -1, Result: res, Err: err, Done: true})
 		if err != nil {
 			return nil, fmt.Errorf("spec %d (%s): %w", i, spec.Title(), err)
 		}
@@ -193,24 +233,35 @@ func DecodeCampaign(data []byte) (Campaign, error) {
 	return c, nil
 }
 
-// LoadCampaign reads a scenario file: either a campaign object ({"name",
-// "specs"}) or a single spec, which is wrapped as a one-spec campaign named
-// after its title.
-func LoadCampaign(path string) (Campaign, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return Campaign{}, fmt.Errorf("scenario: %w", err)
-	}
+// ParseCampaign parses either accepted scenario shape from raw JSON: a
+// campaign object ({"name", "specs"}) or a single spec, which is wrapped
+// as a one-spec campaign named after its title.  The CLI's file loader and
+// the service's submit endpoint share it, so both frontends accept exactly
+// the same strict JSON.
+func ParseCampaign(data []byte) (Campaign, error) {
 	var probe map[string]json.RawMessage
 	if err := json.Unmarshal(data, &probe); err != nil {
-		return Campaign{}, fmt.Errorf("scenario: %s: %w", path, err)
+		return Campaign{}, fmt.Errorf("scenario: %w", err)
 	}
 	if _, isCampaign := probe["specs"]; isCampaign {
 		return DecodeCampaign(data)
 	}
 	spec, err := DecodeSpec(data)
 	if err != nil {
-		return Campaign{}, fmt.Errorf("scenario: %s: %w", path, err)
+		return Campaign{}, err
 	}
 	return Campaign{Name: spec.Title(), Specs: []Spec{spec}}, nil
+}
+
+// LoadCampaign reads a scenario file in either ParseCampaign shape.
+func LoadCampaign(path string) (Campaign, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Campaign{}, fmt.Errorf("scenario: %w", err)
+	}
+	c, err := ParseCampaign(data)
+	if err != nil {
+		return Campaign{}, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return c, nil
 }

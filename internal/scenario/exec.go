@@ -403,61 +403,8 @@ func (r *Result) DFAStats() DFAStats {
 // pipelines between phases, returning promptly with an error carrying
 // ctx.Err().  Execution options (harness.WithWorkers) never affect the
 // statistics — one (spec, seed) produces one result at any parallelism.
+// Run is RunResumable with nothing checkpointed; every kind's per-trial
+// body lives in the spec's trialRunner.
 func Run(ctx context.Context, spec Spec, opts ...harness.Option) (*Result, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, fmt.Errorf("scenario %q: %w", spec.Title(), err)
-	}
-	res := &Result{Spec: spec}
-	// Copy before appending: the caller's slice may be shared across
-	// parallel campaign specs, and appending into spare capacity would race.
-	opts = append(append(make([]harness.Option, 0, len(opts)+1), opts...), harness.WithContext(ctx))
-	switch spec.Kind {
-	case Attack:
-		cfg, err := spec.AttackConfig()
-		if err != nil {
-			return nil, err
-		}
-		res.Attack, err = core.RunAttackTrialsContext(ctx, cfg, spec.Trials, nil, opts...)
-		if err != nil {
-			return nil, err
-		}
-	case Steering:
-		var err error
-		res.Steering, err = core.RunSteeringTrials(spec.SteeringConfig(), spec.Trials, opts...)
-		if err != nil {
-			return nil, err
-		}
-	case Baseline:
-		cfg, err := spec.BaselineConfig()
-		if err != nil {
-			return nil, err
-		}
-		res.Baseline, err = core.RunBaselineTrials(cfg, spec.Trials, opts...)
-		if err != nil {
-			return nil, err
-		}
-	case PFA:
-		c := registry.MustGet(spec.cipherName())
-		budget := spec.pfaBudget(c)
-		var err error
-		res.PFA, err = harness.RunTrials(spec.Seed, spec.Trials, func(_ int, rng *stats.RNG) (PFATrial, error) {
-			return runPFATrial(c, budget, rng)
-		}, opts...)
-		if err != nil {
-			return nil, err
-		}
-	case DFA:
-		c := registry.MustGet(spec.cipherName())
-		a := dfa.MustGet(c.Name())
-		m := spec.FaultModel()
-		budget := spec.dfaBudget()
-		var err error
-		res.DFA, err = harness.RunTrials(spec.Seed, spec.Trials, func(_ int, rng *stats.RNG) (DFATrial, error) {
-			return runDFATrial(c, a, m, budget, rng)
-		}, opts...)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	return RunResumable(ctx, spec, nil, nil, opts...)
 }

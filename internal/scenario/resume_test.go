@@ -1,0 +1,238 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"explframe/internal/harness"
+)
+
+// resumeSpecs are cheap substrate-free specs covering both registry-driven
+// kinds, the fixtures resume equivalence is asserted over.
+func resumeSpecs() []Spec {
+	return []Spec{
+		New(WithKind(PFA), WithCipher("present-80"), WithTrials(6), WithSeed(11)),
+		New(WithKind(DFA), WithTrials(5), WithSeed(7)),
+	}
+}
+
+// Resuming from a partial checkpoint must fold to exactly the results of an
+// uninterrupted run — the determinism contract extended across process
+// restarts — and must recompute only the missing trials.
+func TestRunResumableMatchesFullRun(t *testing.T) {
+	for _, spec := range resumeSpecs() {
+		ref, err := Run(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// First pass: capture every outcome through onTrial.
+		captured := make(map[int]TrialOutcome)
+		res, err := RunResumable(context.Background(), spec, nil, func(trial int, out TrialOutcome) {
+			captured[trial] = out
+		}, harness.WithWorkers(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("%s: RunResumable without checkpoint diverged from Run", spec.Name())
+		}
+		if len(captured) != spec.Trials {
+			t.Fatalf("%s: onTrial fired %d times, want %d", spec.Name(), len(captured), spec.Trials)
+		}
+
+		// Second pass: seed a partial checkpoint (trials 0 and 2) and assert
+		// only the remainder recomputes, with an identical folded result.
+		partial := map[int]TrialOutcome{0: captured[0], 2: captured[2]}
+		var recomputed []int
+		res2, err := RunResumable(context.Background(), spec, partial, func(trial int, out TrialOutcome) {
+			recomputed = append(recomputed, trial)
+			if !reflect.DeepEqual(out, captured[trial]) {
+				t.Fatalf("%s: trial %d outcome changed on resume", spec.Name(), trial)
+			}
+		}, harness.WithWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res2, ref) {
+			t.Fatalf("%s: resumed result diverged from uninterrupted run", spec.Name())
+		}
+		sort.Ints(recomputed)
+		want := []int{1, 3, 4}
+		if spec.Trials == 6 {
+			want = []int{1, 3, 4, 5}
+		}
+		if !reflect.DeepEqual(recomputed, want) {
+			t.Fatalf("%s: recomputed trials %v, want %v", spec.Name(), recomputed, want)
+		}
+	}
+}
+
+// A fully checkpointed spec must fold without computing anything.
+func TestRunResumableFullyCheckpointed(t *testing.T) {
+	spec := resumeSpecs()[0]
+	ref, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make(map[int]TrialOutcome)
+	if _, err := RunResumable(context.Background(), spec, nil, func(trial int, out TrialOutcome) {
+		full[trial] = out
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunResumable(context.Background(), spec, full, func(trial int, _ TrialOutcome) {
+		t.Fatalf("trial %d recomputed despite full checkpoint", trial)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatal("fully checkpointed fold diverged")
+	}
+}
+
+// Checkpoint entries outside the trial range or of the wrong kind must be
+// rejected before any trial runs.
+func TestRunResumableRejectsBadCheckpoint(t *testing.T) {
+	spec := resumeSpecs()[0]
+	outOfRange := map[int]TrialOutcome{spec.Trials: {PFA: &PFATrial{}}}
+	if _, err := RunResumable(context.Background(), spec, outOfRange, nil); err == nil {
+		t.Fatal("out-of-range checkpoint entry accepted")
+	}
+	wrongKind := map[int]TrialOutcome{0: {DFA: &DFATrial{}}}
+	if _, err := RunResumable(context.Background(), spec, wrongKind, nil); err == nil {
+		t.Fatal("wrong-kind checkpoint entry accepted")
+	}
+}
+
+// TrialOutcome must survive a JSON round-trip bit-exactly: the journal
+// substitutes decoded outcomes for recomputation, so any lossy field would
+// break byte-identical resume.
+func TestTrialOutcomeJSONRoundTrip(t *testing.T) {
+	for _, spec := range resumeSpecs() {
+		var outs []TrialOutcome
+		if _, err := RunResumable(context.Background(), spec, nil, func(_ int, out TrialOutcome) {
+			outs = append(outs, out)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, out := range outs {
+			data, err := json.Marshal(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back TrialOutcome
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(out, back) {
+				t.Fatalf("%s trial %d: outcome not JSON round-trip stable", spec.Name(), i)
+			}
+		}
+	}
+}
+
+// Checkpoint.Add and Trials must key by (hash, trial) with last-add-wins.
+func TestCheckpointAccounting(t *testing.T) {
+	cp := make(Checkpoint)
+	cp.Add(1, 0, TrialOutcome{})
+	cp.Add(1, 1, TrialOutcome{})
+	cp.Add(1, 1, TrialOutcome{}) // duplicate: replaces, not double-counts
+	cp.Add(2, 0, TrialOutcome{})
+	if got := cp.Trials(); got != 3 {
+		t.Fatalf("Trials() = %d, want 3", got)
+	}
+}
+
+// WithTrialEvents must emit one self-identifying event per computed trial,
+// and WithCheckpoint must suppress events for merged trials, so a journal
+// fed by these events records each trial exactly once across restarts.
+func TestCampaignTrialEvents(t *testing.T) {
+	camp := Campaign{Name: "resume-events", Specs: resumeSpecs()}
+	var mu sync.Mutex
+	type key struct {
+		hash  uint64
+		trial int
+	}
+	seen := make(map[key]int)
+	cp := make(Checkpoint)
+	var outs []TrialOutcome
+	_, err := camp.Run(context.Background(), WithTrialEvents(),
+		WithProgress(func(e Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			if e.Trial < 0 {
+				return
+			}
+			if e.Outcome == nil || !e.Done {
+				t.Errorf("trial event without outcome or done: %+v", e)
+				return
+			}
+			if e.SpecHash != e.Spec.Hash() {
+				t.Errorf("event hash %016x != spec hash %016x", e.SpecHash, e.Spec.Hash())
+			}
+			seen[key{e.SpecHash, e.Trial}]++
+			cp.Add(e.SpecHash, e.Trial, *e.Outcome)
+			outs = append(outs, *e.Outcome)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range camp.Specs {
+		total += s.Trials
+	}
+	if len(seen) != total {
+		t.Fatalf("saw %d distinct trial events, want %d", len(seen), total)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("trial %+v emitted %d times", k, n)
+		}
+	}
+
+	// Re-run against the full checkpoint: results identical, zero new events.
+	ref, err := camp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := camp.Run(context.Background(), WithTrialEvents(), WithCheckpoint(cp),
+		WithProgress(func(e Event) {
+			if e.Trial >= 0 {
+				t.Errorf("trial event %d emitted despite full checkpoint", e.Trial)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatal("checkpointed campaign diverged from uninterrupted run")
+	}
+}
+
+// Matches must pair each populated arm with its kind and reject the rest.
+func TestTrialOutcomeMatches(t *testing.T) {
+	cases := []struct {
+		out  TrialOutcome
+		kind Kind
+	}{
+		{TrialOutcome{PFA: &PFATrial{}}, PFA},
+		{TrialOutcome{DFA: &DFATrial{}}, DFA},
+	}
+	for _, c := range cases {
+		if !c.out.Matches(c.kind) {
+			t.Fatalf("outcome %+v should match %v", c.out, c.kind)
+		}
+		if c.out.Matches(Steering) {
+			t.Fatalf("outcome %+v matched the wrong kind", c.out)
+		}
+	}
+	if (TrialOutcome{}).Matches(PFA) {
+		t.Fatal("empty outcome matched a kind")
+	}
+}

@@ -1,0 +1,59 @@
+package scenario
+
+import (
+	"fmt"
+
+	"explframe/internal/report"
+)
+
+// CampaignTable renders one row per scenario with the kind-appropriate
+// headline success metric — the table `explframe sweep` prints for
+// campaigns and the one the service persists into the report store when a
+// campaign completes.  Nil results (failed specs) are skipped.  Because
+// every cell is computed from the deterministic per-trial outcomes, the
+// rendered table is byte-identical however the campaign was executed —
+// one shot, any worker count, or resumed from a checkpoint.
+func CampaignTable(name string, results []*Result) *report.Table {
+	t := &report.Table{
+		ID:    "campaign",
+		Title: fmt.Sprintf("campaign %s: headline success per scenario", name),
+		Claim: "declarative scenario grid executed through internal/scenario",
+		Columns: []report.Column{
+			{Name: "scenario"}, {Name: "kind"}, {Name: "trials"},
+			{Name: "success", Unit: "fraction"}, {Name: "detail"},
+		},
+	}
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		spec := res.Spec
+		var rate float64
+		var detail string
+		switch spec.Kind {
+		case Attack:
+			st := res.AttackStats()
+			rate = st.Key.Rate()
+			detail = fmt.Sprintf("site %.2f steer %.2f fault %.2f", st.Site.Rate(), st.Steer.Rate(), st.Fault.Rate())
+		case Steering:
+			st := res.SteeringStats()
+			rate = st.FirstPage.Rate()
+			detail = fmt.Sprintf("planted reused mean %.2f", st.PlantedReused.Mean())
+		case Baseline:
+			st := res.BaselineStats()
+			rate = st.Corrupted.Rate()
+			detail = fmt.Sprintf("neighbours owned %d/%d", st.NeighboursOwned, st.Corrupted.Trials)
+		case PFA:
+			st := res.PFAStats()
+			rate = st.MasterOK.Rate()
+			detail = fmt.Sprintf("last-round recovered %.2f", st.Recovered.Rate())
+		case DFA:
+			st := res.DFAStats()
+			rate = st.MasterOK.Rate()
+			detail = fmt.Sprintf("keyspace mean %.1f bits", st.KeySpaceBits.Mean())
+		}
+		t.AddRow(report.Str(spec.Title()), report.Str(string(spec.Kind)),
+			report.Int(spec.Trials), report.Float(rate, 3), report.Str(detail))
+	}
+	return t
+}

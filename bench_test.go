@@ -575,6 +575,26 @@ func BenchmarkHammerLoopPerMachine(b *testing.B) {
 	}
 }
 
+// BenchmarkPrimeProbe measures one steady-state Prime+Probe measurement
+// window (prime, victim encryption, probe) over the same deterministic
+// workload benchtab's trajectory probe rows are measured with
+// (machine.NewProbeBench), with allocation reporting — the zero-alloc probe
+// contract `benchtab -check-trajectory` enforces in CI.
+func BenchmarkPrimeProbe(b *testing.B) {
+	atk, err := machine.NewProbeBench("prime-probe")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ { // past the one-time fills and accumulator growth
+		atk.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		atk.Step()
+	}
+}
+
 // BenchmarkEncryptBatchPerCipher times every registered cipher's encrypt
 // core through the scalar path and through the full-width batch (bitsliced)
 // path, over the same deterministic workload benchtab's trajectory rows are

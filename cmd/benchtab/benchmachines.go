@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"explframe/internal/cache"
 	"explframe/internal/machine"
 	"explframe/internal/scenario"
 )
@@ -74,20 +75,29 @@ func runBenchMachines(path, trajectoryPath string) int {
 				e.Cipher, e.ScalarNsPerEncryption, e.BitslicedNsPerEncryption, e.Lanes,
 				e.ScalarNsPerEncryption/e.BitslicedNsPerEncryption)
 		}
-		return appendTrajectoryPoint(trajectoryPath, f, ciphers)
+		probes, err := machine.MeasureProbeLoops()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, e := range probes {
+			fmt.Fprintf(os.Stderr, "%-14s %7.1f ns/probe measurement\n", e.Technique, e.NsPerMeasurement)
+		}
+		return appendTrajectoryPoint(trajectoryPath, f, ciphers, probes)
 	}
 	return 0
 }
 
 // appendTrajectoryPoint extends (or starts) the append-only trajectory with
-// the machine entries and cipher-core timings of a just-completed bench run.
-func appendTrajectoryPoint(path string, f machine.BenchFile, ciphers []machine.CipherBenchEntry) int {
+// the machine entries, cipher-core timings and cache-probe timings of a
+// just-completed bench run.
+func appendTrajectoryPoint(path string, f machine.BenchFile, ciphers []machine.CipherBenchEntry, probes []machine.ProbeBenchEntry) int {
 	prev, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	out, err := machine.AppendPoint(prev, f.Host, f.Entries, ciphers, time.Now())
+	out, err := machine.AppendPoint(prev, f.Host, f.Entries, ciphers, probes, time.Now())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -149,12 +159,13 @@ func runCheckBenchMachines(path string) int {
 
 // runCheckTrajectory is the CI regression gate: the checked-in trajectory
 // must strictly parse (append-only timestamps, registry-exact latest point
-// including its cipher-core rows), the latest point's recorded cipher rows
-// must show the bitsliced cores pulling their weight (at least 4x over
-// scalar on AES-128, never slower elsewhere), the same must hold when the
-// cores are re-measured live on this host, and the hammer hot path must
-// still be allocation-free in steady state on every registered machine —
-// the property the trajectory's timings are meaningless without.
+// including its cipher-core and cache-probe rows), the latest point's
+// recorded cipher rows must show the bitsliced cores pulling their weight
+// (at least 4x over scalar on AES-128, never slower elsewhere), the same
+// must hold when the cores are re-measured live on this host, and both hot
+// paths — the hammer loop on every registered machine and the probe loop of
+// every registered technique — must still be allocation-free in steady
+// state, the property the trajectory's timings are meaningless without.
 func runCheckTrajectory(path string) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -193,6 +204,19 @@ func runCheckTrajectory(path string) int {
 			fail = 1
 		}
 		fmt.Fprintf(os.Stderr, "%-14s steady-state hammer allocs/run: %.2f %s\n", name, allocs, status)
+	}
+	for _, tech := range cache.Techniques() {
+		allocs, err := machine.ProbeLoopSteadyStateAllocs(tech)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: probe alloc gate: %v\n", tech, err)
+			return 1
+		}
+		status := "ok"
+		if allocs != 0 {
+			status = "FAIL"
+			fail = 1
+		}
+		fmt.Fprintf(os.Stderr, "%-14s steady-state probe allocs/run: %.2f %s\n", tech, allocs, status)
 	}
 	return fail
 }

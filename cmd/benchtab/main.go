@@ -1,5 +1,5 @@
 // benchtab regenerates every experiment table in the evaluation index
-// (E1–E16) and maintains the machine-profile bench baseline.
+// (E1–E18) and maintains the machine-profile bench baseline.
 //
 // Usage:
 //
@@ -14,10 +14,11 @@
 //
 //	benchtab -bench-machines BENCH_machines.json -append-trajectory BENCH_trajectory.json
 //	                                                    # ...and append the run (plus per-cipher
-//	                                                    # scalar/bitsliced core timings) to the trajectory
+//	                                                    # scalar/bitsliced core timings and per-technique
+//	                                                    # cache-probe timings) to the trajectory
 //	benchtab -check-trajectory BENCH_trajectory.json    # validate the trajectory, the bitsliced
 //	                                                    # speedup floors and the zero-alloc hammer
-//	                                                    # contract (CI gate)
+//	                                                    # and probe contracts (CI gate)
 //
 // With more than one experiment selected, json emits a single JSON array
 // (one element per table) so the output stays parseable as one document;
@@ -50,9 +51,9 @@ func main() {
 	checkBenchMachines := flag.String("check-bench-machines", "",
 		"parse and validate a bench-machines snapshot (shape only, not timings) and exit")
 	appendTrajectory := flag.String("append-trajectory", "",
-		"with -bench-machines: also append the run, with per-cipher scalar/bitsliced core timings, as one timestamped point to this trajectory file")
+		"with -bench-machines: also append the run, with per-cipher scalar/bitsliced core timings and per-technique cache-probe timings, as one timestamped point to this trajectory file")
 	checkTrajectory := flag.String("check-trajectory", "",
-		"validate a bench trajectory (shape, append-only timestamps, machine and cipher registry coverage) plus the bitsliced speedup floors and the steady-state zero-alloc hammer contract, and exit")
+		"validate a bench trajectory (shape, append-only timestamps, machine/cipher/probe-technique coverage) plus the bitsliced speedup floors and the steady-state zero-alloc hammer and probe contracts, and exit")
 	flag.Parse()
 
 	if *appendTrajectory != "" && *benchMachines == "" {

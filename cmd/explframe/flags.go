@@ -29,6 +29,7 @@ type cliFlags struct {
 	crossCPU    bool
 	sleep       bool
 	ciphertexts int
+	budget      int
 	trr         bool
 	ecc         bool
 	manySided   int
@@ -55,6 +56,8 @@ func newFlags(name string) *cliFlags {
 	f.fs.BoolVar(&f.crossCPU, "cross-cpu", false, "pin the victim to a different CPU (expected to defeat the attack)")
 	f.fs.BoolVar(&f.sleep, "sleep", false, "attacker sleeps after planting (expected to defeat the attack)")
 	f.fs.IntVar(&f.ciphertexts, "ciphertexts", 12000, "faulty ciphertext budget for PFA")
+	f.fs.IntVar(&f.budget, "budget", 0,
+		"per-trial work budget: probe measurements (cache-probe), ciphertexts (pfa) or pairs (dfa); 0 inherits the kind default")
 	f.fs.BoolVar(&f.trr, "trr", false, "enable the TRR mitigation (tracker 4, threshold 300)")
 	f.fs.BoolVar(&f.ecc, "ecc", false, "enable SEC-DED ECC")
 	f.fs.IntVar(&f.manySided, "many-sided", 0, "use many-sided hammering with this many decoy rows (TRR bypass)")
@@ -131,6 +134,12 @@ func (f *cliFlags) overrides() ([]scenario.Option, error) {
 				return
 			}
 			opts = append(opts, scenario.WithCiphertexts(f.ciphertexts))
+		case "budget":
+			if f.budget <= 0 {
+				err = fmt.Errorf("-budget %d: the budget must be >= 1 (omit the flag for the kind default)", f.budget)
+				return
+			}
+			opts = append(opts, scenario.WithBudget(f.budget))
 		case "trr":
 			if f.trr {
 				opts = append(opts, scenario.WithTRR(0, 0))

@@ -28,23 +28,38 @@ func parseBare(fs *flag.FlagSet, args []string) (code int, ok bool) {
 }
 
 // cmdList prints the catalogues behind every name the CLI accepts: scenario
-// presets (-scenario), machine profiles (-machine / spec "profile"),
-// declarative fault models (the "fault" field of DFA-kind specs) and
-// registered ciphers (-cipher), under section headers.  -machines and
-// -fault-models restrict the output to one section for scripting.
+// presets (-scenario), cache-probe presets (their own section — a different
+// attacker primitive than the Rowhammer scenarios), machine profiles
+// (-machine / spec "profile"), declarative fault models (the "fault" field
+// of DFA-kind specs) and registered ciphers (-cipher), under section
+// headers.  -machines, -fault-models and -cache-presets restrict the output
+// to one section for scripting.
 func cmdList(args []string) int {
 	fs := flag.NewFlagSet("list", flag.ContinueOnError)
 	machinesOnly := fs.Bool("machines", false, "list only the registered machine profiles")
 	faultsOnly := fs.Bool("fault-models", false, "list only the fault-model presets and DFA analyzers")
+	cachesOnly := fs.Bool("cache-presets", false, "list only the cache-probe scenario presets")
 	if code, ok := parseBare(fs, args); !ok {
 		return code
 	}
-	all := !*machinesOnly && !*faultsOnly
+	all := !*machinesOnly && !*faultsOnly && !*cachesOnly
 	if all {
 		fmt.Println("Scenario presets (run with: explframe run -scenario <name>):")
 		for _, p := range scenario.Presets() {
+			if p.Spec.Kind == scenario.CacheProbe {
+				continue // listed under their own section below
+			}
 			fmt.Printf("  %-14s %s\n", p.Name, p.Description)
 		}
+		fmt.Println()
+	}
+	if all || *cachesOnly {
+		fmt.Println("Cache-probe presets (run with: explframe run -scenario <name>):")
+		for _, p := range scenario.CachePresets() {
+			fmt.Printf("  %-16s %s\n", p.Name, p.Description)
+		}
+	}
+	if all {
 		fmt.Println()
 	}
 	if all || *machinesOnly {

@@ -19,6 +19,7 @@ func TestDescribeResolution(t *testing.T) {
 		want int
 	}{
 		{"preset", []string{"baseline"}, 0},
+		{"cache preset", []string{"prime-probe"}, 0},
 		{"machine fallback", []string{"ddr4"}, 0},
 		{"machine explicit", []string{"machine", "server-1g"}, 0},
 		{"unknown name", []string{"not-a-thing"}, 2},
@@ -81,6 +82,9 @@ func TestListRuns(t *testing.T) {
 	}
 	if got := cmdList([]string{"-machines"}); got != 0 {
 		t.Errorf("list -machines: exit %d", got)
+	}
+	if got := cmdList([]string{"-cache-presets"}); got != 0 {
+		t.Errorf("list -cache-presets: exit %d", got)
 	}
 	if got := cmdList([]string{"-no-such-flag"}); got != 2 {
 		t.Errorf("list with bad flag: exit %d", got)

@@ -6,7 +6,7 @@
 //	explframe sweep [flags]      run a scenario or campaign sweep, render a table
 //	explframe submit [flags]     post a scenario/campaign to an explframed server
 //	explframe watch [flags] <id> stream a submitted campaign's per-trial results
-//	explframe list [-machines]   list scenario presets, machine profiles, ciphers
+//	explframe list [-machines]   list scenario/cache presets, machines, ciphers
 //	explframe describe <what>    print a preset's, spec file's or machine's JSON
 //	explframe describe machine <name>  print one machine profile's JSON
 //	explframe [flags]            legacy alias for run (with -trials > 1: sweep)
@@ -67,8 +67,9 @@ Subcommands:
             print its campaign id (same -scenario sources and overrides)
   watch     stream a submitted campaign's per-trial results as JSON lines
             until it finishes (-report also prints the persisted table)
-  list      list scenario presets, machine profiles and registered ciphers
-            (-machines restricts to the machine catalogue)
+  list      list scenario presets, cache-probe presets, machine profiles and
+            registered ciphers (-machines, -fault-models and -cache-presets
+            restrict to one catalogue)
   describe  print the canonical JSON, name and hash of a preset, spec file
             or machine profile ('describe machine <name>' is explicit)
 

@@ -149,6 +149,15 @@ func runSummary(ctx context.Context, spec scenario.Spec, parallel int) int {
 			fmt.Printf("  pairs to recovery: %s\n", st.Pairs.String())
 		}
 		fmt.Printf("  surviving key space: mean %.1f bits\n", st.KeySpaceBits.Mean())
+	case scenario.CacheProbe:
+		st := res.CacheProbeStats()
+		fmt.Printf("  technique: %s\n", spec.Probe.Technique)
+		fmt.Printf("  full first-round key: %d/%d (%.3f)\n", st.FullKey.Successes, st.FullKey.Trials, st.FullKey.Rate())
+		fmt.Printf("  key nibbles recovered: mean %.1f\n", st.Nibbles.Mean())
+		fmt.Printf("  bytes leaked: mean %.1f\n", st.BytesLeaked.Mean())
+		if st.BitErrorRate.N() > 0 {
+			fmt.Printf("  channel bit-error rate: mean %.3f\n", st.BitErrorRate.Mean())
+		}
 	}
 	return 0
 }

@@ -54,11 +54,12 @@ func TestTablesWorkerCountInvariant(t *testing.T) {
 // E6 runs full attack pipelines through the scenario campaign layer, E16
 // does the same across every registered machine profile, and E17 drives the
 // DFA fault-model ladder over every registered analyzer (its trials collect
-// a whole pair budget in one batched dfa.CollectPairs call).  E16's and E17's
-// trial streams key on the machine/cipher/model *names* (via Spec hashes),
-// so the invariance also holds against registry growth: a newly registered
-// machine, analyzer or ladder rung adds rows without re-randomizing the
-// existing rows.
+// a whole pair budget in one batched dfa.CollectPairs call), and E18 runs
+// the cache-probe technique grid over both machine mappers.  E16's, E17's
+// and E18's trial streams key on the machine/cipher/model/technique *names*
+// (via Spec hashes), so the invariance also holds against registry growth:
+// a newly registered machine, analyzer, ladder rung or probe technique adds
+// rows without re-randomizing the existing rows.
 func TestAttackTableWorkerCountInvariant(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full end-to-end sweep")
@@ -70,6 +71,7 @@ func TestAttackTableWorkerCountInvariant(t *testing.T) {
 		{"E6", E6EndToEnd},
 		{"E16", E16Machines},
 		{"E17", E17DFALadder},
+		{"E18", E18CacheProbe},
 	} {
 		var ref string
 		for _, workers := range []int{1, runtime.NumCPU()} {

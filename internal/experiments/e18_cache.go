@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"explframe/internal/cache"
+	"explframe/internal/harness"
+	"explframe/internal/machine"
+	"explframe/internal/report"
+	"explframe/internal/scenario"
+	"explframe/internal/stats"
+)
+
+// e18Budgets are the measurement budgets each probe technique is scored at:
+// a starved budget that separates the techniques by temporal resolution,
+// and a generous one at which every line-granular technique converges.
+var e18Budgets = []int{512, 8192}
+
+// e18Machines are the machine profiles the probe grid runs on — the two
+// mappers (linear and XOR-folded) exercise both slice-hash families.
+var e18Machines = []string{"default", "ddr4"}
+
+// e18Noise is the background-interference probability every row runs under.
+const e18Noise = 0.05
+
+// E18CacheProbe scores every cache-probe technique against the AES T-table
+// victim across both machine mappers and two measurement budgets: recovered
+// first-round key nibbles, full-key rate, and bytes of information
+// extracted per attack.  This is the cache-timing flank of the paper's
+// threat model (Section II): the page frame cache steers the attacker onto
+// the victim's frames, and the same physical co-location that enables
+// Rowhammer gives an LLC attacker eviction-set congruence — Prime+Probe
+// needs an order of magnitude more encryptions than Evict+Reload because it
+// only sees a whole encryption's footprint per measurement, while
+// Evict+Reload samples the targeted line at round granularity.  The
+// page-cache channel is the contrast: a binary activity oracle that leaks
+// bulk bytes but (at page granularity) essentially no key material.
+func E18CacheProbe(seed uint64, opts ...harness.Option) (*Table, error) {
+	t := &Table{
+		ID:    "E18",
+		Title: "cache-probe techniques vs measurement budget (AES T-tables, both mappers)",
+		Claim: "Sec II threat model: physical co-location feeds cache-timing channels; round-granular Evict+Reload converges ~8x before Prime+Probe, and page-granular probing leaks bytes but no key nibbles",
+		Columns: []report.Column{
+			{Name: "technique"}, {Name: "machine"}, {Name: "mapper"},
+			{Name: "budget", Unit: "measurements"},
+			{Name: "nibbles", Unit: "of 16"}, {Name: "full_key_frac", Unit: "fraction"},
+			{Name: "bytes_leaked", Unit: "bytes"}, {Name: "bit_err", Unit: "fraction"},
+		},
+	}
+	const trials = 4
+
+	// Row order and seed derivation key on (technique, machine, budget)
+	// NAMES, not slice indices: adding a technique or a budget must not
+	// re-randomize the existing rows' trial streams (the E15 convention).
+	type rowKey struct {
+		tech, mach string
+		budget     int
+	}
+	var keys []rowKey
+	camp := scenario.Campaign{Name: "E18"}
+	for _, tech := range cache.Techniques() {
+		for _, mach := range e18Machines {
+			for _, budget := range e18Budgets {
+				keys = append(keys, rowKey{tech, mach, budget})
+				camp.Specs = append(camp.Specs, scenario.New(
+					scenario.WithProfile(scenario.Profile(mach)), scenario.WithProbe(tech),
+					scenario.WithProbeNoise(e18Noise), scenario.WithBudget(budget),
+					scenario.WithTrials(trials),
+					scenario.WithSeed(stats.DeriveSeed(stats.DeriveSeed(seed, label(18, 0)),
+						fnv1a(fmt.Sprintf("%s/%s/b%d", tech, mach, budget))))))
+			}
+		}
+	}
+	results, err := camp.Run(context.Background(), scenario.WithTrialOptions(opts...))
+	if err != nil {
+		return nil, err
+	}
+
+	for i, res := range results {
+		k := keys[i]
+		st := res.CacheProbeStats()
+		bitErr := report.Dash()
+		if st.BitErrorRate.N() > 0 {
+			bitErr = f3(st.BitErrorRate.Mean())
+		}
+		ri := len(t.Rows)
+		t.AddRow(
+			report.Str(k.tech),
+			report.Str(k.mach),
+			report.Str(machine.MustGet(k.mach).MapperName()),
+			report.Int(k.budget),
+			report.Float(st.Nibbles.Mean(), 1),
+			f2(st.FullKey.Rate()),
+			report.Float(st.BytesLeaked.Mean(), 1),
+			bitErr,
+		)
+		switch {
+		case k.tech == cache.TechEvictReload:
+			// Round-granular reloads converge even at the starved budget,
+			// on either mapper's slice hash.
+			t.Expect(report.Expectation{
+				Metric: fmt.Sprintf("evict-reload/%s/b%d: full first-round key", k.mach, k.budget),
+				Row:    ri, Col: 5,
+				Paper: 1.0, Tol: 0.05,
+				PaperText: "a few hundred round-resolved reloads suffice for the AES first round",
+				Source:    "PAPERS.md (Flush+Reload on AES T-tables)",
+			})
+		case k.tech == cache.TechPrimeProbe && k.budget == 8192:
+			// Whole-encryption footprints need ~10x the measurements but
+			// still recover the full key once the budget is generous.
+			t.Expect(report.Expectation{
+				Metric: fmt.Sprintf("prime-probe/%s/b%d: full first-round key", k.mach, k.budget),
+				Row:    ri, Col: 5,
+				Paper: 1.0, Tol: 0.05,
+				PaperText: "thousands of encryptions recover the first-round key via Prime+Probe",
+				Source:    "PAPERS.md (Osvik-Shamir-Tromer synchronous attacks)",
+			})
+		case k.tech == cache.TechPageCache:
+			// Page granularity: every T-table access hits the same page, so
+			// key-nibble recovery stays at chance while the activity channel
+			// still moves bulk bytes.
+			t.Expect(report.Expectation{
+				Metric: fmt.Sprintf("page-cache/%s/b%d: nibbles stay at chance", k.mach, k.budget),
+				Row:    ri, Col: 4,
+				Paper: 1.0, Tol: 1.5,
+				PaperText: "page-granular probing cannot resolve intra-page T-table indices",
+				Source:    "PAPERS.md (page-cache side channels)",
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d trials per row, noise %g per probe window; eviction sets inherit the machine's LLC associativity", trials, e18Noise),
+		"nibbles is the mean correctly recovered first-round key nibbles (the high nibble of each of 16 key bytes)",
+		"bytes_leaked is recovered key bits / 8 for the line-granular techniques, and binary-channel capacity times the window budget for page-cache",
+		"bit_err is the page-cache activity channel's observed flip rate (dash for the line-granular techniques)",
+		"the ddr4 rows run the XOR-folded slice hash; matching recovery on both mappers is the CacheView bijectivity argument made empirical")
+	return t, nil
+}

@@ -1,5 +1,5 @@
 // Package experiments contains one driver per experiment in the
-// reconstructed evaluation (E1–E17).  Each driver returns a typed
+// reconstructed evaluation (E1–E18).  Each driver returns a typed
 // report.Table (cells carry kinds and numeric values, columns carry units,
 // expectations carry the paper's reported numbers) that cmd/benchtab and
 // cmd/report render and bench_test.go wraps in testing.B benchmarks, so the
@@ -46,6 +46,7 @@ func All() []Runner {
 		{"E15", "PFA across the cipher registry", E15PFAAllCiphers},
 		{"E16", "attack vs machine profile", E16Machines},
 		{"E17", "DFA fault-model ladder", E17DFALadder},
+		{"E18", "cache-probe techniques", E18CacheProbe},
 	}
 }
 

@@ -38,13 +38,13 @@ func cellQuantum(s string) float64 {
 }
 
 // All() must return every experiment exactly once, in order: IDs are
-// "E1".."E17" with no gaps, duplicates or shuffles, and each runner is
+// "E1".."E18" with no gaps, duplicates or shuffles, and each runner is
 // complete.  (The golden tests additionally assert each returned table
 // carries its runner's ID.)
 func TestAllRegistered(t *testing.T) {
 	runners := All()
-	if len(runners) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(runners))
+	if len(runners) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(runners))
 	}
 	seen := map[string]bool{}
 	for i, r := range runners {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"time"
 
+	"explframe/internal/cache"
 	"explframe/internal/cipher/registry"
 )
 
@@ -29,6 +30,11 @@ type TrajectoryPoint struct {
 	// Points predating the bitsliced cores omit the field; the latest point
 	// must carry it and cover the cipher registry exactly.
 	Ciphers []CipherBenchEntry `json:"ciphers,omitempty"`
+	// Probes holds one cache-probe timing sample per registered probe
+	// technique (ns per measurement window on the default machine).  Points
+	// predating the cache layer omit the field; the latest point must carry
+	// it and cover cache.Techniques exactly.
+	Probes []ProbeBenchEntry `json:"probes,omitempty"`
 }
 
 // TrajectoryFile is the append-only performance history: where
@@ -51,11 +57,12 @@ const trajectoryNote = "append-only; extend with: go run ./cmd/benchtab -bench-m
 // document: known schema, at least one point, strictly increasing RFC 3339
 // timestamps, and non-empty entries with positive timings throughout.  The
 // LATEST point must cover exactly the currently registered machine set AND
-// the currently registered cipher set (its cipher-core timing rows) — that
-// is the regression gate `benchtab -check-trajectory` runs in CI.  Older
-// points are historical: they may name machines that have since been
-// renamed or removed, or predate the cipher rows entirely (append-only
-// files outlive the registry), so only their internal shape is checked.
+// the currently registered cipher set (its cipher-core timing rows) AND the
+// registered probe-technique set (its cache-probe rows) — that is the
+// regression gate `benchtab -check-trajectory` runs in CI.  Older points
+// are historical: they may name machines that have since been renamed or
+// removed, or predate the cipher or probe rows entirely (append-only files
+// outlive the registry), so only their internal shape is checked.
 func ParseTrajectoryFile(data []byte) (TrajectoryFile, error) {
 	f, err := parseTrajectoryHistory(data)
 	if err != nil {
@@ -67,6 +74,9 @@ func ParseTrajectoryFile(data []byte) (TrajectoryFile, error) {
 		errs = append(errs, err)
 	}
 	if err := checkCoversCipherRegistry(last); err != nil {
+		errs = append(errs, err)
+	}
+	if err := checkCoversProbeTechniques(last); err != nil {
 		errs = append(errs, err)
 	}
 	if err := errors.Join(errs...); err != nil {
@@ -128,6 +138,15 @@ func parseTrajectoryHistory(data []byte) (TrajectoryFile, error) {
 				errs = append(errs, fmt.Errorf("point %d cipher row %d (%s): non-positive lane count %d", i, j, e.Cipher, e.Lanes))
 			}
 		}
+		for j, e := range p.Probes {
+			if e.Technique == "" {
+				errs = append(errs, fmt.Errorf("point %d probe row %d: empty technique name", i, j))
+			}
+			if e.NsPerMeasurement <= 0 {
+				errs = append(errs, fmt.Errorf("point %d probe row %d (%s): non-positive timing (%g ns/measurement)",
+					i, j, e.Technique, e.NsPerMeasurement))
+			}
+		}
 	}
 	if err := errors.Join(errs...); err != nil {
 		return TrajectoryFile{}, fmt.Errorf("machine: trajectory file invalid: %w", err)
@@ -181,12 +200,36 @@ func checkCoversCipherRegistry(p TrajectoryPoint) error {
 	return errors.Join(errs...)
 }
 
+// checkCoversProbeTechniques verifies a point's cache-probe rows sample
+// exactly the registered probe-technique set — no stale names, no missing
+// techniques, no duplicates.  Only the latest point is held to this (older
+// points predate the cache layer or a technique change).
+func checkCoversProbeTechniques(p TrajectoryPoint) error {
+	var errs []error
+	sampled := make(map[string]bool, len(p.Probes))
+	for _, e := range p.Probes {
+		if sampled[e.Technique] {
+			errs = append(errs, fmt.Errorf("probe technique %q sampled twice", e.Technique))
+		}
+		sampled[e.Technique] = true
+		if !cache.KnownTechnique(e.Technique) {
+			errs = append(errs, fmt.Errorf("probe technique %q is not registered", e.Technique))
+		}
+	}
+	for _, name := range cache.Techniques() {
+		if !sampled[name] {
+			errs = append(errs, fmt.Errorf("registered probe technique %q has no sample", name))
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // AppendPoint extends the trajectory in data (or starts a fresh file when
-// data is empty) with one point carrying the given machine bench entries
-// and cipher-core timing rows, stamped now.  The existing history is never
-// rewritten: points only grow at the tail, and a timestamp at or before the
-// last point is rejected rather than reordered.
-func AppendPoint(data []byte, host string, entries []BenchEntry, ciphers []CipherBenchEntry, now time.Time) ([]byte, error) {
+// data is empty) with one point carrying the given machine bench entries,
+// cipher-core timing rows and cache-probe timing rows, stamped now.  The
+// existing history is never rewritten: points only grow at the tail, and a
+// timestamp at or before the last point is rejected rather than reordered.
+func AppendPoint(data []byte, host string, entries []BenchEntry, ciphers []CipherBenchEntry, probes []ProbeBenchEntry, now time.Time) ([]byte, error) {
 	f := TrajectoryFile{Schema: TrajectorySchema, Note: trajectoryNote}
 	if len(data) > 0 {
 		parsed, err := parseTrajectoryHistory(data)
@@ -198,11 +241,14 @@ func AppendPoint(data []byte, host string, entries []BenchEntry, ciphers []Ciphe
 	if len(entries) == 0 {
 		return nil, errors.New("machine: refusing to append a point with no entries")
 	}
-	p := TrajectoryPoint{Time: now.UTC().Format(time.RFC3339), Host: host, Entries: entries, Ciphers: ciphers}
+	p := TrajectoryPoint{Time: now.UTC().Format(time.RFC3339), Host: host, Entries: entries, Ciphers: ciphers, Probes: probes}
 	if err := checkCoversRegistry(p); err != nil {
 		return nil, fmt.Errorf("machine: new trajectory point: %w", err)
 	}
 	if err := checkCoversCipherRegistry(p); err != nil {
+		return nil, fmt.Errorf("machine: new trajectory point: %w", err)
+	}
+	if err := checkCoversProbeTechniques(p); err != nil {
 		return nil, fmt.Errorf("machine: new trajectory point: %w", err)
 	}
 	if n := len(f.Points); n > 0 {

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"explframe/internal/cache"
 	"explframe/internal/cipher/registry"
 )
 
@@ -38,6 +39,16 @@ func sampleCiphers() []CipherBenchEntry {
 	return rows
 }
 
+// sampleProbes fabricates a technique-covering cache-probe row set with
+// valid timings.
+func sampleProbes() []ProbeBenchEntry {
+	var rows []ProbeBenchEntry
+	for _, tech := range cache.Techniques() {
+		rows = append(rows, ProbeBenchEntry{Technique: tech, NsPerMeasurement: 2000})
+	}
+	return rows
+}
+
 // The checked-in BENCH_trajectory.json must strictly parse, with its latest
 // point covering the registered machine set — the gate behind
 // `benchtab -check-trajectory`.
@@ -59,7 +70,7 @@ func TestCheckedInTrajectoryParses(t *testing.T) {
 // round-trips through the strict parser.
 func TestAppendPointGrowsFile(t *testing.T) {
 	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
-	data, err := AppendPoint(nil, "test/amd64, 4 cpus", sampleEntries(), sampleCiphers(), t0)
+	data, err := AppendPoint(nil, "test/amd64, 4 cpus", sampleEntries(), sampleCiphers(), sampleProbes(), t0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +81,7 @@ func TestAppendPointGrowsFile(t *testing.T) {
 	if len(f.Points) != 1 {
 		t.Fatalf("got %d points, want 1", len(f.Points))
 	}
-	data, err = AppendPoint(data, "test/amd64, 4 cpus", sampleEntries(), sampleCiphers(), t0.Add(time.Hour))
+	data, err = AppendPoint(data, "test/amd64, 4 cpus", sampleEntries(), sampleCiphers(), sampleProbes(), t0.Add(time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,12 +101,12 @@ func TestAppendPointGrowsFile(t *testing.T) {
 // file is append-only in time, not just in position.
 func TestAppendPointRejectsNonMonotonic(t *testing.T) {
 	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
-	data, err := AppendPoint(nil, "h", sampleEntries(), sampleCiphers(), t0)
+	data, err := AppendPoint(nil, "h", sampleEntries(), sampleCiphers(), sampleProbes(), t0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, ts := range []time.Time{t0, t0.Add(-time.Hour)} {
-		if _, err := AppendPoint(data, "h", sampleEntries(), sampleCiphers(), ts); err == nil {
+		if _, err := AppendPoint(data, "h", sampleEntries(), sampleCiphers(), sampleProbes(), ts); err == nil {
 			t.Errorf("append at %v accepted; want monotonicity error", ts)
 		}
 	}
@@ -106,7 +117,7 @@ func TestAppendPointRejectsNonMonotonic(t *testing.T) {
 // point that misses or duplicates registered machines.
 func TestParseTrajectoryFileRejects(t *testing.T) {
 	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
-	good, err := AppendPoint(nil, "h", sampleEntries(), sampleCiphers(), t0)
+	good, err := AppendPoint(nil, "h", sampleEntries(), sampleCiphers(), sampleProbes(), t0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,6 +133,8 @@ func TestParseTrajectoryFileRejects(t *testing.T) {
 		{"stale cipher", strings.Replace(string(good), `"cipher": "aes-128"`, `"cipher": "rc4"`, 1), "not registered"},
 		{"zero cipher timing", strings.Replace(string(good), `"bitsliced_ns_per_encryption": 50`, `"bitsliced_ns_per_encryption": 0`, 1), "non-positive"},
 		{"zero lanes", strings.Replace(string(good), `"lanes": 64`, `"lanes": 0`, 1), "non-positive lane count"},
+		{"stale technique", strings.Replace(string(good), `"technique": "prime-probe"`, `"technique": "flush-reload"`, 1), "not registered"},
+		{"zero probe timing", strings.Replace(string(good), `"ns_per_measurement": 2000`, `"ns_per_measurement": 0`, 1), "non-positive"},
 	}
 	for _, tc := range cases {
 		_, err := ParseTrajectoryFile([]byte(tc.doc))
@@ -131,15 +144,15 @@ func TestParseTrajectoryFileRejects(t *testing.T) {
 	}
 
 	// Older points tolerate machines that have since left the registry and
-	// may predate the cipher-core rows entirely — append-only history
-	// outlives registry changes — while the latest point must cover both
-	// current registries exactly.
+	// may predate the cipher-core and probe rows entirely — append-only
+	// history outlives registry changes — while the latest point must cover
+	// all the current registries exactly.
 	entries := sampleEntries()
 	entries[0].Machine = "retired"
 	hist := TrajectoryFile{Schema: TrajectorySchema, Note: trajectoryNote,
 		Points: []TrajectoryPoint{
 			{Time: "2026-07-01T12:00:00Z", Host: "h", Entries: entries},
-			{Time: "2026-08-01T12:00:00Z", Host: "h", Entries: sampleEntries(), Ciphers: sampleCiphers()},
+			{Time: "2026-08-01T12:00:00Z", Host: "h", Entries: sampleEntries(), Ciphers: sampleCiphers(), Probes: sampleProbes()},
 		}}
 	data, err := json.MarshalIndent(hist, "", "  ")
 	if err != nil {
@@ -160,10 +173,11 @@ func TestParseTrajectoryFileRejects(t *testing.T) {
 	}
 
 	// A latest point with no cipher rows at all is equally a failure — the
-	// bitsliced speedup gate has nothing to check without them.
+	// bitsliced speedup gate has nothing to check without them.  Same for
+	// missing probe rows.
 	hist = TrajectoryFile{Schema: TrajectorySchema, Note: trajectoryNote,
 		Points: []TrajectoryPoint{
-			{Time: "2026-07-01T12:00:00Z", Host: "h", Entries: sampleEntries(), Ciphers: sampleCiphers()},
+			{Time: "2026-07-01T12:00:00Z", Host: "h", Entries: sampleEntries(), Ciphers: sampleCiphers(), Probes: sampleProbes()},
 			{Time: "2026-08-01T12:00:00Z", Host: "h", Entries: sampleEntries()},
 		}}
 	data, err = json.MarshalIndent(hist, "", "  ")
@@ -172,5 +186,13 @@ func TestParseTrajectoryFileRejects(t *testing.T) {
 	}
 	if _, err := ParseTrajectoryFile(data); err == nil || !strings.Contains(err.Error(), "has no sample") {
 		t.Errorf("latest point without cipher rows: error %v, want mention of \"has no sample\"", err)
+	}
+	hist.Points[1].Ciphers = sampleCiphers()
+	data, err = json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTrajectoryFile(data); err == nil || !strings.Contains(err.Error(), "has no sample") {
+		t.Errorf("latest point without probe rows: error %v, want mention of \"has no sample\"", err)
 	}
 }

@@ -283,6 +283,8 @@ type Result struct {
 	PFA []PFATrial
 	// DFA holds DFA-kind per-trial outcomes.
 	DFA []DFATrial
+	// CacheProbe holds CacheProbe-kind per-trial outcomes.
+	CacheProbe []CacheProbeTrial
 }
 
 // AttackStats aggregates Attack-kind trials per phase.

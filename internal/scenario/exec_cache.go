@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"fmt"
+
+	"explframe/internal/cache"
+	"explframe/internal/cipher/registry"
+	"explframe/internal/dram"
+	"explframe/internal/machine"
+	"explframe/internal/stats"
+)
+
+// DefaultProbeBudget is the CacheProbe measurement budget a zero Budget
+// inherits: enough encryptions for Prime+Probe to recover the full
+// first-round key on the default machine with margin.
+const DefaultProbeBudget = 4096
+
+// probeBudget resolves the CacheProbe measurement budget.
+func (s Spec) probeBudget() int {
+	if s.Budget > 0 {
+		return s.Budget
+	}
+	return DefaultProbeBudget
+}
+
+// probeConfig lowers the spec's probe fields onto the cache layer's
+// config.
+func (s Spec) probeConfig() cache.ProbeConfig {
+	return cache.ProbeConfig{
+		Technique:   s.Probe.Technique,
+		Budget:      s.probeBudget(),
+		Noise:       s.Probe.Noise,
+		EvictionSet: s.Probe.EvictionSet,
+	}
+}
+
+// CacheProbeTrial is one cache-probe trial outcome.
+type CacheProbeTrial struct {
+	// Nibbles is the number of correctly recovered first-round key
+	// nibbles out of NibbleTotal.
+	Nibbles int
+	// NibbleTotal is the number of attackable nibbles (one per state
+	// byte).
+	NibbleTotal int
+	// BytesLeaked is the information extracted: recovered key bits for
+	// the line-granular techniques, channel capacity over the budget for
+	// the page-cache activity channel.
+	BytesLeaked float64
+	// Measurements is the probe measurements taken.
+	Measurements int
+	// EvictionSets is the eviction sets constructed (0 for page-cache).
+	EvictionSets int
+	// BitErrors is the page-cache channel's flipped bits (0 otherwise).
+	BitErrors int
+}
+
+// runCacheProbeTrial executes one CacheProbe-kind trial: the machine's
+// mapper viewed through the scenario's derived LLC geometry and the
+// mapper's default slice hash, one cache.Attack per trial with the
+// victim key and table placement drawn from the trial's private stream.
+func runCacheProbeTrial(c registry.Cipher, ms machine.Spec, g cache.Geometry, cfg cache.ProbeConfig, rng *stats.RNG) (CacheProbeTrial, error) {
+	mapper, err := dram.NewNamedMapper(ms.MapperName(), ms.Geometry)
+	if err != nil {
+		return CacheProbeTrial{}, fmt.Errorf("scenario: %w", err)
+	}
+	view, err := cache.NewView(mapper, g, cache.DefaultSliceHash(ms.MapperName()))
+	if err != nil {
+		return CacheProbeTrial{}, err
+	}
+	atk, err := cache.NewAttack(view, c, cfg, rng)
+	if err != nil {
+		return CacheProbeTrial{}, err
+	}
+	res := atk.Run()
+	return CacheProbeTrial{
+		Nibbles:      res.Nibbles,
+		NibbleTotal:  res.NibbleTotal,
+		BytesLeaked:  res.BytesLeaked,
+		Measurements: res.Measurements,
+		EvictionSets: res.EvictionSets,
+		BitErrors:    res.BitErrors,
+	}, nil
+}
+
+// CacheProbeStats aggregates CacheProbe-kind trials.
+type CacheProbeStats struct {
+	// FullKey is the proportion of trials recovering every attackable
+	// nibble.
+	FullKey stats.Proportion
+	// Nibbles summarises the recovered nibbles per trial.
+	Nibbles stats.Summary
+	// BytesLeaked summarises the extracted information per trial.
+	BytesLeaked stats.Summary
+	// BitErrorRate summarises the page-cache channel's per-trial error
+	// rate (empty for the line-granular techniques).
+	BitErrorRate stats.Summary
+}
+
+// CacheProbeStats folds the cache-probe trial outcomes.
+func (r *Result) CacheProbeStats() CacheProbeStats {
+	var c CacheProbeStats
+	for _, tr := range r.CacheProbe {
+		c.FullKey.Observe(tr.NibbleTotal > 0 && tr.Nibbles == tr.NibbleTotal)
+		c.Nibbles.Observe(float64(tr.Nibbles))
+		c.BytesLeaked.Observe(tr.BytesLeaked)
+		if tr.EvictionSets == 0 && tr.Measurements > 0 {
+			c.BitErrorRate.Observe(float64(tr.BitErrors) / float64(tr.Measurements))
+		}
+	}
+	return c
+}

@@ -1,6 +1,9 @@
 package scenario
 
-import "explframe/internal/fault"
+import (
+	"explframe/internal/cache"
+	"explframe/internal/fault"
+)
 
 // Preset is a named, documented scenario the CLI can list, describe and run
 // without a spec file.
@@ -101,6 +104,30 @@ func Presets() []Preset {
 				WithFaultModel(fault.New(fault.Nibble)), WithTrials(8), WithBudget(40)),
 		},
 		{
+			Name:        "prime-probe",
+			Description: "LLC Prime+Probe on AES T-tables, default machine, 4096 measurements (4 trials)",
+			Spec: New(WithLabel("prime-probe"), WithProbe(cache.TechPrimeProbe),
+				WithProbeNoise(0.05), WithTrials(4)),
+		},
+		{
+			Name:        "evict-reload",
+			Description: "Evict+Reload of the AES T-table lines at round resolution, 1024 measurements (4 trials)",
+			Spec: New(WithLabel("evict-reload"), WithProbe(cache.TechEvictReload),
+				WithProbeNoise(0.05), WithBudget(1024), WithTrials(4)),
+		},
+		{
+			Name:        "page-cache",
+			Description: "mincore-style page-cache probing of the victim's table page, 2048 windows (4 trials)",
+			Spec: New(WithLabel("page-cache"), WithProbe(cache.TechPageCache),
+				WithProbeNoise(0.05), WithBudget(2048), WithTrials(4)),
+		},
+		{
+			Name:        "ddr4-prime-probe",
+			Description: "Prime+Probe on the ddr4 machine: XOR-folded slice hash, 4 slices (4 trials)",
+			Spec: New(WithLabel("ddr4-prime-probe"), WithProfile("ddr4"),
+				WithProbe(cache.TechPrimeProbe), WithProbeNoise(0.05), WithTrials(4)),
+		},
+		{
 			Name:        "spray",
 			Description: "prior-work baseline: blind spraying on the fast module (12 trials)",
 			Spec: New(WithLabel("spray"), WithProfile(ProfileFast),
@@ -113,6 +140,18 @@ func Presets() []Preset {
 				WithBaseline("pagemap-targeted"), WithTrials(12)),
 		},
 	}
+}
+
+// CachePresets returns the CacheProbe-kind subset of the catalogue — the
+// section `explframe list` prints under its own heading.
+func CachePresets() []Preset {
+	var out []Preset
+	for _, p := range Presets() {
+		if p.Spec.Kind == CacheProbe {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // LookupPreset resolves a preset by name.

@@ -27,6 +27,8 @@ type TrialOutcome struct {
 	PFA *PFATrial `json:"pfa,omitempty"`
 	// DFA holds a DFA-kind trial's key-recovery outcome.
 	DFA *DFATrial `json:"dfa,omitempty"`
+	// CacheProbe holds a CacheProbe-kind trial's leakage outcome.
+	CacheProbe *CacheProbeTrial `json:"cache_probe,omitempty"`
 }
 
 // Matches reports whether the outcome's populated arm agrees with kind —
@@ -44,6 +46,8 @@ func (o TrialOutcome) Matches(kind Kind) bool {
 		return o.PFA != nil
 	case DFA:
 		return o.DFA != nil
+	case CacheProbe:
+		return o.CacheProbe != nil
 	}
 	return false
 }
@@ -144,6 +148,21 @@ func (s Spec) trialRunner(ctx context.Context) (func(trial int, rng *stats.RNG) 
 			}
 			return TrialOutcome{DFA: &tr}, nil
 		}, nil
+	case CacheProbe:
+		c := registry.MustGet(s.cipherName())
+		ms, err := s.MachineSpec()
+		if err != nil {
+			return nil, err
+		}
+		g := s.cacheGeometry()
+		cfg := s.probeConfig()
+		return func(_ int, rng *stats.RNG) (TrialOutcome, error) {
+			tr, err := runCacheProbeTrial(c, ms, g, cfg, rng)
+			if err != nil {
+				return TrialOutcome{}, err
+			}
+			return TrialOutcome{CacheProbe: &tr}, nil
+		}, nil
 	}
 	return nil, fmt.Errorf("scenario: no trial runner for kind %q", s.Kind)
 }
@@ -164,6 +183,8 @@ func foldOutcomes(spec Spec, outs []TrialOutcome) *Result {
 			res.PFA = append(res.PFA, *o.PFA)
 		case DFA:
 			res.DFA = append(res.DFA, *o.DFA)
+		case CacheProbe:
+			res.CacheProbe = append(res.CacheProbe, *o.CacheProbe)
 		}
 	}
 	return res

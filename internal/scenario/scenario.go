@@ -25,6 +25,7 @@ import (
 	"os"
 	"strings"
 
+	"explframe/internal/cache"
 	"explframe/internal/cipher/registry"
 	"explframe/internal/fault"
 	"explframe/internal/fault/dfa"
@@ -55,6 +56,11 @@ const (
 	// registered dfa.Analyzer — the baseline the persistent route is
 	// compared against.
 	DFA Kind = "dfa"
+	// CacheProbe runs a cache-timing side channel from internal/cache:
+	// Prime+Probe or Evict+Reload against the victim's T-table lines, or
+	// mincore-style page-cache probing of the victim's table page, on the
+	// machine's LLC model.
+	CacheProbe Kind = "cache-probe"
 )
 
 // Profile selects the simulated machine the scenario runs on: any name in
@@ -125,6 +131,21 @@ type VictimSpec struct {
 	RequestPages int `json:"request_pages,omitempty"`
 }
 
+// ProbeSpec declares a CacheProbe-kind scenario's attacker primitive and
+// tuning.  Zero values inherit the cache layer's defaults (an eviction set
+// per monitored line at the LLC's associativity, no background noise).
+type ProbeSpec struct {
+	// Technique selects the primitive: "prime-probe", "evict-reload" or
+	// "page-cache" (cache.Techniques lists them).
+	Technique string `json:"technique"`
+	// Noise is the per-measurement probability of background working-set
+	// interference in [0, 1).
+	Noise float64 `json:"noise,omitempty"`
+	// EvictionSet is the lines per eviction set (0 = the LLC's
+	// associativity; fewer than the associativity cannot evict a set).
+	EvictionSet int `json:"eviction_set,omitempty"`
+}
+
 // PCP policies for the page-frame-cache ablation.
 const (
 	// PCPLIFO is Linux's policy — the one the steering primitive exploits.
@@ -178,12 +199,16 @@ type Spec struct {
 	// "random-spray" or "pagemap-targeted".
 	BaselineModel string `json:"baseline,omitempty"`
 	// Budget bounds the ciphertexts of a PFA-kind trial (0 = 25 per
-	// S-box value, the coupon-collector scaling) or the correct/faulty
-	// pairs of a DFA-kind trial (0 = 16).
+	// S-box value, the coupon-collector scaling), the correct/faulty
+	// pairs of a DFA-kind trial (0 = 16), or the probe measurements of a
+	// CacheProbe-kind trial (0 = 4096).
 	Budget int `json:"budget,omitempty"`
 	// Fault is the transient fault model of a DFA-kind trial; nil inherits
 	// the strongest rung of the cipher analyzer's ladder.
 	Fault *fault.Model `json:"fault,omitempty"`
+	// Probe is the attacker primitive of a CacheProbe-kind trial; it is
+	// required on that kind and forbidden on every other.
+	Probe *ProbeSpec `json:"probe,omitempty"`
 }
 
 // Option mutates a Spec under construction.
@@ -322,6 +347,37 @@ func WithFaultModel(m fault.Model) Option {
 	}
 }
 
+// WithProbe selects a CacheProbe-kind scenario under the given probe
+// technique (see cache.Techniques), the way WithBaseline selects its kind.
+func WithProbe(technique string) Option {
+	return func(s *Spec) {
+		s.Kind = CacheProbe
+		s.Probe = &ProbeSpec{Technique: technique}
+	}
+}
+
+// WithProbeNoise sets a CacheProbe-kind scenario's background-interference
+// probability; apply it after WithProbe.
+func WithProbeNoise(p float64) Option {
+	return func(s *Spec) {
+		if s.Probe == nil {
+			s.Probe = &ProbeSpec{}
+		}
+		s.Probe.Noise = p
+	}
+}
+
+// WithEvictionSet sets a CacheProbe-kind scenario's lines per eviction
+// set; apply it after WithProbe.
+func WithEvictionSet(lines int) Option {
+	return func(s *Spec) {
+		if s.Probe == nil {
+			s.Probe = &ProbeSpec{}
+		}
+		s.Probe.EvictionSet = lines
+	}
+}
+
 // hammerModes lists the accepted HammerSpec.Mode strings.
 var hammerModes = map[string]bool{
 	"": true, "single-sided": true, "double-sided": true, "many-sided": true,
@@ -342,9 +398,9 @@ func (s Spec) Validate() error {
 	}
 
 	switch s.Kind {
-	case Attack, Steering, Baseline, PFA, DFA:
+	case Attack, Steering, Baseline, PFA, DFA, CacheProbe:
 	default:
-		fail("kind: unknown %q (want attack, steering, baseline, pfa or dfa)", s.Kind)
+		fail("kind: unknown %q (want attack, steering, baseline, pfa, dfa or cache-probe)", s.Kind)
 	}
 	if s.Machine != nil {
 		if s.Profile != "" {
@@ -425,7 +481,42 @@ func (s Spec) Validate() error {
 	} else if s.Fault != nil {
 		fail("fault: model %q set on kind %q (only kind dfa uses it)", s.Fault.Name(), s.Kind)
 	}
+	if s.Kind == CacheProbe {
+		if s.Probe == nil {
+			fail("probe: required for kind cache-probe (technique: one of %s)", strings.Join(cache.Techniques(), ", "))
+		} else {
+			if !cache.KnownTechnique(s.Probe.Technique) {
+				fail("probe.technique: unknown %q (want %s)", s.Probe.Technique, strings.Join(cache.Techniques(), ", "))
+			}
+			if s.Probe.Noise < 0 || s.Probe.Noise >= 1 {
+				fail("probe.noise: %g, want within [0, 1)", s.Probe.Noise)
+			}
+			g := s.cacheGeometry()
+			if s.Probe.EvictionSet != 0 && s.Probe.EvictionSet < g.Ways {
+				fail("probe.eviction_set: %d lines cannot evict a %d-way set (0 inherits the associativity)",
+					s.Probe.EvictionSet, g.Ways)
+			}
+			if c, ok := registry.Get(s.cipherName()); ok {
+				if err := cache.Observable(c, g.LineBytes); err != nil {
+					fail("cipher: %w", err)
+				}
+			}
+		}
+	} else if s.Probe != nil {
+		fail("probe: technique %q set on kind %q (only kind cache-probe uses it)", s.Probe.Technique, s.Kind)
+	}
 	return errors.Join(errs...)
+}
+
+// cacheGeometry derives the LLC geometry of the machine the scenario runs
+// on (the scenario-layer policy: cache shape follows the machine's CPU
+// count, so machine specs stay unchanged and their hashes stable).
+func (s Spec) cacheGeometry() cache.Geometry {
+	cpus := 2
+	if ms, err := s.MachineSpec(); err == nil && ms.CPUs > 0 {
+		cpus = ms.CPUs
+	}
+	return cache.DefaultGeometry(cpus)
 }
 
 // MachineSpec resolves the machine the scenario runs on: the inline spec
@@ -512,7 +603,7 @@ func (s Spec) Name() string {
 	} else if p := s.Profile; p != "" && p != ProfileDefault {
 		fmt.Fprintf(&b, ":%s", p)
 	}
-	if s.Kind == Attack || s.Kind == PFA || s.Kind == Baseline || s.Kind == DFA {
+	if s.Kind == Attack || s.Kind == PFA || s.Kind == Baseline || s.Kind == DFA || s.Kind == CacheProbe {
 		fmt.Fprintf(&b, ":%s", s.CipherName())
 	}
 	if s.Kind == Baseline {
@@ -560,6 +651,15 @@ func (s Spec) Name() string {
 	}
 	if s.Fault != nil {
 		fmt.Fprintf(&b, "+fault=%s", s.Fault.Name())
+	}
+	if s.Probe != nil {
+		fmt.Fprintf(&b, "+probe=%s", s.Probe.Technique)
+		if s.Probe.Noise > 0 {
+			fmt.Fprintf(&b, "@%g", s.Probe.Noise)
+		}
+		if s.Probe.EvictionSet > 0 {
+			fmt.Fprintf(&b, "+evset=%d", s.Probe.EvictionSet)
+		}
 	}
 	return b.String()
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"explframe/internal/cache"
 	"explframe/internal/fault"
 	"explframe/internal/machine"
 )
@@ -26,6 +27,9 @@ func sampleSpecs() []Spec {
 		New(WithProfile("ddr4"), WithTrials(4)),
 		New(WithMachine(machine.MustGet("server-1g")), WithCipher("present-80")),
 		New(WithMachine(machine.New("", machine.WithTRR(4, 300))), WithTrials(2)),
+		New(WithProbe(cache.TechPrimeProbe), WithProbeNoise(0.05), WithTrials(2)),
+		New(WithProbe(cache.TechEvictReload), WithEvictionSet(12), WithBudget(512), WithTrials(2)),
+		New(WithProfile("ddr4"), WithProbe(cache.TechPageCache), WithTrials(2)),
 	}
 }
 
@@ -95,6 +99,13 @@ func TestValidateRejections(t *testing.T) {
 		{"invalid fault model", New(WithFaultModel(fault.Model{Kind: "laser", Position: fault.Anywhere})), "kind: unknown"},
 		{"unsupported fault model", New(WithFaultModel(fault.New(fault.RandomBytes, fault.WithWidth(5)))), "fault"},
 		{"fault model on attack kind", New().With(func(s *Spec) { m := fault.New(fault.PreciseBit); s.Fault = &m }), "only kind dfa"},
+		{"cache-probe without probe", New(WithKind(CacheProbe)), "probe: required"},
+		{"unknown probe technique", New(WithProbe("flush-reload")), "probe.technique"},
+		{"probe noise at one", New(WithProbe(cache.TechPrimeProbe), WithProbeNoise(1.0)), "probe.noise"},
+		{"negative probe noise", New(WithProbe(cache.TechPrimeProbe), WithProbeNoise(-0.1)), "probe.noise"},
+		{"undersized eviction set", New(WithProbe(cache.TechPrimeProbe), WithEvictionSet(3)), "probe.eviction_set"},
+		{"unobservable probe victim", New(WithProbe(cache.TechEvictReload), WithCipher("present-80")), "cache line"},
+		{"probe on attack kind", New().With(func(s *Spec) { s.Probe = &ProbeSpec{Technique: cache.TechPrimeProbe} }), "only kind cache-probe"},
 	}
 	for _, tc := range cases {
 		err := tc.spec.Validate()
@@ -224,6 +235,11 @@ func TestNameAndHash(t *testing.T) {
 			t.Fatalf("hash collision between %q and %q", prev, s.Name())
 		}
 		seen[h] = s.Name()
+	}
+	probe := New(WithProbe(cache.TechPrimeProbe), WithProbeNoise(0.05), WithEvictionSet(12))
+	if name := probe.Name(); !strings.Contains(name, "cache-probe") ||
+		!strings.Contains(name, "+probe=prime-probe@0.05") || !strings.Contains(name, "+evset=12") {
+		t.Errorf("probe fields missing from canonical name %q", name)
 	}
 	if New().Title() != New().Name() {
 		t.Fatal("Title without label should fall back to Name")

@@ -51,6 +51,10 @@ func CampaignTable(name string, results []*Result) *report.Table {
 			st := res.DFAStats()
 			rate = st.MasterOK.Rate()
 			detail = fmt.Sprintf("keyspace mean %.1f bits", st.KeySpaceBits.Mean())
+		case CacheProbe:
+			st := res.CacheProbeStats()
+			rate = st.FullKey.Rate()
+			detail = fmt.Sprintf("nibbles mean %.1f, leaked mean %.1f B", st.Nibbles.Mean(), st.BytesLeaked.Mean())
 		}
 		t.AddRow(report.Str(spec.Title()), report.Str(string(spec.Kind)),
 			report.Int(spec.Trials), report.Float(rate, 3), report.Str(detail))
